@@ -1,0 +1,56 @@
+"""Fig. 3 reproduction bench: Ramsey characterization of the four contexts.
+
+Paper reference (Fig. 3c-f): the noisy and aligned-DD curves oscillate
+deeply; staggered DD and error compensation stay near 1; EC + aligned DD
+matches staggered DD; in case IV only EC helps.
+"""
+
+from repro.experiments import run_fig3
+
+DEPTHS = (0, 4, 8, 12, 16, 20)
+
+
+def _run(cases):
+    return run_fig3(depths=DEPTHS, shots=32, realizations=6, cases=cases)
+
+
+def test_case1_idle_pair(benchmark, once):
+    result = once(benchmark, _run, ("case1_idle_pair",))
+    print()
+    for line in result.rows():
+        print(line)
+    curves = result.curves["case1_idle_pair"]
+    worst = DEPTHS.index(12)
+    # Shape checks: staggered DD and EC hold up where bare/aligned collapse.
+    assert curves["staggered_dd"][worst] > curves["none"][worst]
+    assert curves["ca_ec"][worst] > curves["none"][worst]
+    assert min(curves["ec+aligned_dd"]) > 0.8
+
+
+def test_case2_control_spectator(benchmark, once):
+    result = once(benchmark, _run, ("case2_control_spectator",))
+    print()
+    for line in result.rows():
+        print(line)
+    curves = result.curves["case2_control_spectator"]
+    assert curves["ca_dd"][-1] > curves["none"][-1]
+    assert curves["ca_ec"][-1] > curves["none"][-1]
+
+
+def test_case3_target_spectator(benchmark, once):
+    result = once(benchmark, _run, ("case3_target_spectator",))
+    print()
+    for line in result.rows():
+        print(line)
+    curves = result.curves["case3_target_spectator"]
+    assert curves["ca_dd"][-1] > curves["none"][-1]
+    assert curves["ca_ec"][-1] > curves["none"][-1]
+
+
+def test_case4_adjacent_controls(benchmark, once):
+    result = once(benchmark, _run, ("case4_adjacent_controls",))
+    print()
+    for line in result.rows():
+        print(line)
+    curves = result.curves["case4_adjacent_controls"]
+    assert sum(curves["ca_ec"]) > sum(curves["none"])

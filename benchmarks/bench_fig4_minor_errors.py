@@ -1,0 +1,65 @@
+"""Fig. 4 reproduction bench: Stark shift, charge-parity beating, NNN ZZ.
+
+Paper reference: (a) ~20 kHz Stark shift of the spectator fringe away from
+the always-on line; (b) beating at the parity splitting; (c) progressive
+suppression going up the Walsh hierarchy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_nnn_walsh, run_parity, run_stark
+from repro.utils.fitting import dominant_frequency
+
+
+def test_stark_shift(benchmark, once):
+    result = once(
+        benchmark, run_stark,
+        times=tuple(np.linspace(500.0, 60000.0, 100)), shots=16,
+    )
+    print()
+    print(f"driven fringe peak : {result.driven_frequency / 1e-6:8.1f} kHz")
+    print(f"always-on reference: {result.always_on_reference / 1e-6:8.1f} kHz")
+    print(f"measured shift     : {result.stark_shift / 1e-6:8.1f} kHz")
+    print(f"calibrated shift   : {result.calibrated_stark / 1e-6:8.1f} kHz")
+    # Shape: the displacement matches the device's Stark calibration.
+    assert result.stark_shift == np.float64(result.stark_shift)
+    assert abs(result.stark_shift - result.calibrated_stark) < 10e-6
+
+
+def test_parity_beating(benchmark, once):
+    applied = 250.0  # kHz
+    delta = 40.0  # kHz
+    times = tuple(np.linspace(0.0, 50000.0, 200))
+    data = once(benchmark, run_parity, applied_khz=applied, delta_khz=delta,
+                times=times, shots=96)
+    signal = np.asarray(data["signal"])
+    print()
+    print("fringe  min/max:", round(signal.min(), 3), round(signal.max(), 3))
+    # Averaging over the random parity sign splits the fringe into sidebands
+    # at (applied +- delta): the FFT peak sits a beat away from the applied
+    # tone, never on it (paper eq. 6 / Fig. 4b).
+    peak = dominant_frequency(data["times"], signal)
+    offset_khz = abs(peak - applied * 1e-6) / 1e-6
+    print(f"peak: {peak / 1e-6:.1f} kHz (applied {applied}, delta {delta})")
+    assert offset_khz == pytest.approx(delta, abs=25.0)
+    # The beat envelope forces a deep minimum: the rectified signal dips
+    # well below 1 somewhere mid-record.
+    envelope_min = np.min(np.abs(signal[:180]).reshape(30, 6).max(axis=1))
+    print("envelope dip:", round(float(envelope_min), 3))
+    assert envelope_min < 0.75
+
+
+def test_nnn_walsh_hierarchy(benchmark, once):
+    result = once(
+        benchmark, run_nnn_walsh, depths=(0, 8, 16, 24), shots=32
+    )
+    print()
+    for name, curve in result.curves.items():
+        print(f"  {name:>10s}: " + " ".join(f"{v:.3f}" for v in curve))
+    deep = -1
+    # Walsh (3 colors) beats 2-color staggered on the collision triple,
+    # which in turn beats aligned and none.
+    assert result.curves["walsh"][deep] > result.curves["staggered"][deep]
+    assert result.curves["staggered"][deep] > result.curves["none"][deep]
+    assert result.curves["staggered"][deep] > result.curves["aligned"][deep]

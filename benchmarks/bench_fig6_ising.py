@@ -1,0 +1,32 @@
+"""Fig. 6 reproduction bench: Floquet Ising boundary correlator.
+
+Paper reference: the twirl-only signal loses contrast with depth; CA-EC and
+CA-DD recover the alternating +-1 boundary correlation.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig6
+
+
+def test_ising_boundary_correlator(benchmark, once):
+    result = once(
+        benchmark, run_fig6,
+        steps=(0, 1, 2, 3, 4, 5), shots=20, realizations=6,
+    )
+    print()
+    for line in result.rows():
+        print(line)
+
+    ideal = np.asarray(result.ideal)
+
+    def total_error(name):
+        return float(np.sum(np.abs(np.asarray(result.curves[name]) - ideal)))
+
+    e_none = total_error("none")
+    e_ec = total_error("ca_ec")
+    e_dd = total_error("ca_dd")
+    print(f"total |error|: none={e_none:.3f} ca_ec={e_ec:.3f} ca_dd={e_dd:.3f}")
+    # Shape: both context-aware methods beat the twirl-only baseline.
+    assert e_ec < e_none
+    assert e_dd < e_none

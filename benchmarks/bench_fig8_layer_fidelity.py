@@ -1,0 +1,41 @@
+"""Fig. 8 reproduction bench: layer fidelity of a sparse 10-qubit layer.
+
+Paper reference: LF 0.648 (bare) -> 0.743 (DD) -> 0.822 (CA-DD) -> 0.881
+(CA-EC); gamma = LF**-2: 2.38 -> 1.81 -> 1.48 -> 1.29; ~7x / ~30x overhead
+reduction over 10 layers. The synthetic device reproduces the ordering and
+the multi-x reductions.
+"""
+
+from repro.experiments import run_fig8
+
+
+def test_layer_fidelity_ladder(benchmark, once):
+    result = once(
+        benchmark, run_fig8, depths=(1, 2, 4, 6), samples=6, shots=12
+    )
+    print()
+    for line in result.rows():
+        print(line)
+    table = {name: lf for name, lf, _gamma in result.table()}
+    # The paper's ladder: bare < DD < CA-DD < CA-EC for this layer (the
+    # ctrl-ctrl ZZ is invisible to DD, so CA-EC wins).
+    assert table["none"] < table["ca_dd"]
+    assert table["dd"] < table["ca_dd"]
+    assert table["ca_dd"] < table["ca_ec"] + 0.02
+    # Multi-x overhead reduction for a 10-layer circuit.
+    assert result.reduction("dd", "ca_ec", 10) > 2.0
+
+
+def test_partition_structure(benchmark, once):
+    from repro.benchmarking import partition_layer
+    from repro.experiments import fig8_device, fig8_layer
+
+    device = fig8_device()
+    spec = fig8_layer()
+    partitions = once(benchmark, partition_layer, spec, device)
+    print()
+    print("partitions:", partitions)
+    pair_count = sum(1 for p in partitions if len(p) == 2)
+    assert pair_count >= 4  # 3 gate pairs + >=1 idle pair
+    covered = sorted(q for p in partitions for q in p)
+    assert covered == list(range(10))

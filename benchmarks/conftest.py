@@ -1,0 +1,20 @@
+"""Benchmark configuration.
+
+Each bench regenerates one of the paper's tables or figures with
+reduced-but-representative statistics and prints the rows/series it
+produces, so running ``pytest benchmarks/ --benchmark-only`` doubles as the
+reproduction harness. Timing uses a single round (the experiments are
+minutes-scale aggregates, not microbenchmarks).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

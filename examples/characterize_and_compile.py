@@ -1,0 +1,70 @@
+"""Characterize, then compile: the full calibration-to-compensation loop.
+
+The paper's compensation angles come from backend characterization data.
+This example runs that loop inside the simulator: it *measures* the device's
+always-on ZZ rates with conditional Ramsey experiments, builds a
+calibration-estimated device model, compiles CA-EC against the measured
+rates, and compares the result with the oracle-calibration compilation.
+
+Run:  python examples/characterize_and_compile.py
+"""
+
+from repro.benchmarking import characterize_device, measure_zz_rate
+from repro.circuits import Circuit, draw
+from repro.compiler import apply_ca_ec
+from repro.device import linear_chain, synthetic_device
+from repro.sim import SimOptions, expectation_values
+
+device = synthetic_device(linear_chain(3), name="lab_device", seed=71)
+quiet = SimOptions(
+    shots=64, seed=5, dephasing=False, amplitude_damping=False, gate_errors=False
+)
+
+# --- 1. characterize every coupled pair -------------------------------------
+print("conditional-Ramsey ZZ characterization:")
+for a, b in device.pairs:
+    measured = measure_zz_rate(device, a, b, options=quiet)
+    true = device.zz_rate(a, b)
+    print(
+        f"  pair ({a},{b}): measured {measured.rate / 1e-6:6.2f} kHz,"
+        f" true {true / 1e-6:6.2f} kHz"
+    )
+
+estimated = characterize_device(device, options=quiet)
+
+# --- 2. compile against the measured calibration -----------------------------
+circuit = Circuit(3)
+circuit.h(0)
+circuit.h(1)
+circuit.delay(700.0, 0, new_moment=True)
+circuit.delay(700.0, 1)
+circuit.append_moment([])
+
+oracle, _ = apply_ca_ec(circuit, device)       # knows the true rates
+measured_comp, _ = apply_ca_ec(circuit, estimated)  # knows only measurements
+
+print("\ncompiled circuit (measured calibration):")
+print(draw(measured_comp))
+
+# --- 3. compare ---------------------------------------------------------------
+clean = SimOptions(
+    shots=1, stochastic=False, dephasing=False, amplitude_damping=False,
+    gate_errors=False, seed=0,
+)
+obs = {"<X0>": "IIX", "<X1>": "IXI"}
+ideal = expectation_values(circuit, device.ideal(), obs, clean)
+bare = expectation_values(circuit, device, obs, clean)
+with_oracle = expectation_values(oracle, device, obs, clean)
+with_measured = expectation_values(measured_comp, device, obs, clean)
+
+print("\n                ", "  ".join(obs))
+for name, res in (
+    ("ideal", ideal), ("bare", bare),
+    ("CA-EC (oracle)", with_oracle), ("CA-EC (measured)", with_measured),
+):
+    print(f"{name:>18s}:", "  ".join(f"{res[k]:+.4f}" for k in obs))
+
+print(
+    "\nThe measured-calibration compilation matches the oracle to the"
+    " characterization accuracy — the workflow a real backend runs."
+)

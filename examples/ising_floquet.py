@@ -1,0 +1,37 @@
+"""Floquet Ising chain at the Clifford point (paper Fig. 6).
+
+The boundary correlation <X0 X5> should alternate between +1 and -1 every
+Floquet step. Idle periods at the chain boundary accumulate coherent Z/ZZ
+errors that wash the signal out; CA-EC and CA-DD recover it.
+
+Run:  python examples/ising_floquet.py
+"""
+
+from repro.apps import boundary_xx_label, ideal_boundary_xx, ising_circuit, ising_device
+from repro.compiler import realization_factory
+from repro.sim import SimOptions, average_over_realizations
+
+NUM_QUBITS = 6
+STEPS = range(0, 6)
+
+device = ising_device(NUM_QUBITS, seed=21)
+observable = {"xx": boundary_xx_label(NUM_QUBITS)}
+options = SimOptions(shots=24)
+
+print("step  ideal   none     ca_ec    ca_dd")
+for depth in STEPS:
+    circuit = ising_circuit(NUM_QUBITS, depth)
+    row = [f"{ideal_boundary_xx(depth):+.0f}"]
+    for strategy in ("none", "ca_ec", "ca_dd"):
+        factory = realization_factory(circuit, device, strategy)
+        result = average_over_realizations(
+            factory, device, observable,
+            realizations=6, options=options, seed=100 + depth,
+        )
+        row.append(f"{result['xx']:+.3f}")
+    print(f"{depth:4d}  {row[0]:>5s}  {row[1]}   {row[2]}   {row[3]}")
+
+print(
+    "\nThe suppressed columns should track the alternating ideal signal"
+    " noticeably better than the twirl-only baseline."
+)

@@ -1,0 +1,62 @@
+"""Quickstart: suppress correlated noise in a small layered circuit.
+
+Builds a 4-qubit circuit with two entangling layers (leaving idle neighbors
+each time — the context that breeds correlated ZZ errors), then compares
+the uncompensated result against each compilation strategy from the paper.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Circuit,
+    SimOptions,
+    average_over_realizations,
+    expectation_values,
+    linear_chain,
+    realization_factory,
+    synthetic_device,
+)
+
+# --- 1. a device: 4 qubits in a chain with synthetic IBM-like calibration ---
+device = synthetic_device(linear_chain(4), name="demo", seed=7)
+print(f"device: {device.name}, ZZ(0,1) = {device.zz_rate(0, 1) / 1e-6:.1f} kHz")
+
+# --- 2. a layered circuit: Heisenberg-style interactions with idle gaps ----
+circuit = Circuit(4)
+for q in range(4):
+    circuit.h(q, new_moment=(q == 0))
+for _ in range(2):
+    circuit.can(0.3, 0.2, 0.4, 0, 1, new_moment=True)  # qubits 2,3 idle
+    circuit.append_moment([])
+    circuit.can(0.1, 0.5, 0.2, 2, 3, new_moment=True)  # qubits 0,1 idle
+    circuit.append_moment([])
+
+observables = {"<X2>": "IXII", "<X3>": "XIII"}
+
+# --- 3. the noiseless reference ---------------------------------------------
+ideal = expectation_values(
+    circuit,
+    device.ideal(),
+    observables,
+    SimOptions(
+        shots=1, coherent=False, stochastic=False, dephasing=False,
+        amplitude_damping=False, gate_errors=False, seed=0,
+    ),
+)
+print("\nideal:", {k: round(v, 4) for k, v in ideal.values.items()})
+
+# --- 4. compare suppression strategies --------------------------------------
+options = SimOptions(shots=32)
+for strategy in ("none", "dd", "staggered_dd", "ca_dd", "ca_ec", "ca_ec+dd"):
+    factory = realization_factory(circuit, device, strategy)
+    result = average_over_realizations(
+        factory, device, observables, realizations=10, options=options, seed=1
+    )
+    error = sum(abs(result[k] - ideal[k]) for k in observables)
+    values = {k: round(v, 4) for k, v in result.values.items()}
+    print(f"{strategy:>14s}: {values}   total |error| = {error:.4f}")
+
+print(
+    "\nExpected ordering: none > dd > staggered_dd >= ca_dd >= ca_ec;"
+    " the combined strategy is best."
+)

@@ -1,0 +1,106 @@
+"""repro: context-aware compiling for correlated-noise suppression.
+
+A from-scratch reproduction of "Suppressing Correlated Noise in Quantum
+Computers via Context-Aware Compiling" (Seif et al., ISCA 2024,
+arXiv:2403.06852): circuit IR, device models, a sign-trajectory noise
+simulator, the CA-DD and CA-EC compiler passes, benchmarking protocols, and
+the paper's application studies.
+
+Quickstart::
+
+    from repro import Circuit, fake_nazca, compile_circuit, expectation_values
+
+    device = fake_nazca().subdevice(range(4))
+    circuit = Circuit(4)
+    ...
+    compiled = compile_circuit(circuit, device, "ca_ec", seed=0)
+    result = expectation_values(compiled, device, {"z0": "IIIZ"})
+"""
+
+from .circuits import (
+    Circuit,
+    Durations,
+    Instruction,
+    Moment,
+    draw,
+    gates,
+    schedule,
+    stratify,
+    summary,
+)
+from .compiler import (
+    STRATEGIES,
+    Strategy,
+    apply_aligned_dd,
+    apply_ca_dd,
+    apply_ca_ec,
+    apply_orientation,
+    apply_staggered_dd,
+    compile_circuit,
+    realization_factory,
+)
+from .device import (
+    Device,
+    Topology,
+    fake_brisbane,
+    fake_nazca,
+    fake_penguino,
+    fake_sherbrooke,
+    heavy_hex,
+    linear_chain,
+    ring,
+    synthetic_device,
+)
+from .pauli import Pauli, apply_twirl
+from .sim import (
+    SimOptions,
+    SimResult,
+    average_over_realizations,
+    bit_probabilities,
+    density_expectations,
+    density_probabilities,
+    expectation_values,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "Durations",
+    "Instruction",
+    "Moment",
+    "draw",
+    "summary",
+    "gates",
+    "schedule",
+    "stratify",
+    "STRATEGIES",
+    "Strategy",
+    "apply_aligned_dd",
+    "apply_ca_dd",
+    "apply_ca_ec",
+    "apply_orientation",
+    "apply_staggered_dd",
+    "compile_circuit",
+    "realization_factory",
+    "Device",
+    "Topology",
+    "fake_brisbane",
+    "fake_nazca",
+    "fake_penguino",
+    "fake_sherbrooke",
+    "heavy_hex",
+    "linear_chain",
+    "ring",
+    "synthetic_device",
+    "Pauli",
+    "apply_twirl",
+    "SimOptions",
+    "SimResult",
+    "average_over_realizations",
+    "bit_probabilities",
+    "density_expectations",
+    "density_probabilities",
+    "expectation_values",
+    "__version__",
+]

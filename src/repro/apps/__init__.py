@@ -1,0 +1,47 @@
+"""Application circuits: Ising, Heisenberg, dynamic circuits, combined Floquet."""
+
+from .dynamic import (
+    AUX,
+    DATA0,
+    DATA1,
+    bell_dynamic_circuit,
+    bell_target_bits,
+    compensated_circuit,
+    conditionally_compensated_circuit,
+    dynamic_device,
+)
+from .floquet6 import PROBE_PAIR, floquet6_circuit, floquet6_device, probe_target_bits
+from .heisenberg import (
+    equivalent_cnot_count,
+    equivalent_cnot_depth,
+    heisenberg_circuit,
+    heisenberg_device,
+    ring_edge_layers,
+    site_z_label,
+)
+from .ising import boundary_xx_label, ideal_boundary_xx, ising_circuit, ising_device
+
+__all__ = [
+    "AUX",
+    "DATA0",
+    "DATA1",
+    "bell_dynamic_circuit",
+    "bell_target_bits",
+    "compensated_circuit",
+    "conditionally_compensated_circuit",
+    "dynamic_device",
+    "PROBE_PAIR",
+    "floquet6_circuit",
+    "floquet6_device",
+    "probe_target_bits",
+    "equivalent_cnot_count",
+    "equivalent_cnot_depth",
+    "heisenberg_circuit",
+    "heisenberg_device",
+    "ring_edge_layers",
+    "site_z_label",
+    "boundary_xx_label",
+    "ideal_boundary_xx",
+    "ising_circuit",
+    "ising_device",
+]

@@ -1,0 +1,44 @@
+"""Circuit IR: gates, moment-based circuits, synthesis, and scheduling."""
+
+from . import gates
+from .circuit import Circuit, Instruction, Moment
+from .draw import draw, summary
+from .euler import EulerAngles, euler_angles, fuse
+from .schedule import Durations, ScheduledCircuit, ScheduledMoment, schedule
+from .stratify import layer_kind, stratify, two_qubit_layers, validate_stratified
+from .weyl import (
+    absorb_rzz_after,
+    absorb_rzz_before,
+    canonical_params,
+    cnot_synthesis,
+    compensate_rzz,
+    heisenberg_params,
+    is_canonical,
+)
+
+__all__ = [
+    "gates",
+    "Circuit",
+    "draw",
+    "summary",
+    "Instruction",
+    "Moment",
+    "EulerAngles",
+    "euler_angles",
+    "fuse",
+    "Durations",
+    "ScheduledCircuit",
+    "ScheduledMoment",
+    "schedule",
+    "layer_kind",
+    "stratify",
+    "two_qubit_layers",
+    "validate_stratified",
+    "absorb_rzz_after",
+    "absorb_rzz_before",
+    "canonical_params",
+    "cnot_synthesis",
+    "compensate_rzz",
+    "heisenberg_params",
+    "is_canonical",
+]

@@ -1,0 +1,97 @@
+"""Single-qubit Euler-angle decomposition and error absorption (paper eq. 4).
+
+Any ``U`` in U(2) factors as ``exp(i phase) Rz(phi) Ry(theta) Rz(lam)``. On
+hardware the middle ``Ry`` is realized with two ``sqrt(X)`` pulses and three
+virtual ``Rz`` rotations (the ZXZXZ form of eq. 4), which is why absorbing a
+coherent ``Rz(eps)`` error into a neighboring single-qubit gate is free: only
+the virtual phases change.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+import numpy as np
+
+from .gates import rz_matrix, ry_matrix, SX_MAT
+
+
+@dataclass(frozen=True)
+class EulerAngles:
+    """ZYZ Euler angles with global phase: ``e^{i phase} Rz(phi) Ry(theta) Rz(lam)``."""
+
+    theta: float
+    phi: float
+    lam: float
+    phase: float = 0.0
+
+    def matrix(self) -> np.ndarray:
+        return (
+            cmath.exp(1j * self.phase)
+            * rz_matrix(self.phi)
+            @ ry_matrix(self.theta)
+            @ rz_matrix(self.lam)
+        )
+
+    def absorb_rz_before(self, eps: float) -> "EulerAngles":
+        """Compose with ``Rz(eps)`` applied earlier in time: ``U . Rz(eps)``."""
+        return replace(self, lam=self.lam + eps)
+
+    def absorb_rz_after(self, eps: float) -> "EulerAngles":
+        """Compose with ``Rz(eps)`` applied later in time: ``Rz(eps) . U``."""
+        return replace(self, phi=self.phi + eps)
+
+    def compensate_rz_before(self, eps: float) -> "EulerAngles":
+        """Cancel a coherent ``Rz(eps)`` error that occurred before this gate."""
+        return self.absorb_rz_before(-eps)
+
+    def zxzxz_angles(self) -> Tuple[float, float, float]:
+        """Angles ``(a, b, c)`` such that ``U ~ Rz(a) SX Rz(b) SX Rz(c)``.
+
+        Equal up to global phase: ``a = phi + pi``, ``b = theta + pi``,
+        ``c = lam``. The identity ``Ry(theta) = e^{i*} Rz(pi) SX Rz(theta+pi)
+        SX Rz(0)`` underlies this ZXZXZ form.
+        """
+        return (self.phi + math.pi, self.theta + math.pi, self.lam)
+
+    def zxzxz_matrix(self) -> np.ndarray:
+        a, b, c = self.zxzxz_angles()
+        return rz_matrix(a) @ SX_MAT @ rz_matrix(b) @ SX_MAT @ rz_matrix(c)
+
+
+def euler_angles(matrix: np.ndarray) -> EulerAngles:
+    """Extract ZYZ Euler angles (with global phase) from a 2x2 unitary."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2, 2):
+        raise ValueError("expected a 2x2 matrix")
+    det = np.linalg.det(matrix)
+    if abs(abs(det) - 1.0) > 1e-6:
+        raise ValueError("matrix is not unitary")
+    phase = 0.5 * cmath.phase(det)
+    su2 = matrix * cmath.exp(-1j * phase)
+
+    # su2 = [[cos(t/2) e^{-i(phi+lam)/2}, -sin(t/2) e^{-i(phi-lam)/2}],
+    #        [sin(t/2) e^{+i(phi-lam)/2},  cos(t/2) e^{+i(phi+lam)/2}]]
+    theta = 2.0 * math.atan2(abs(su2[1, 0]), abs(su2[0, 0]))
+    if abs(su2[0, 0]) < 1e-12:
+        # theta == pi: only phi - lam is determined; set lam = 0.
+        phi = 2.0 * cmath.phase(su2[1, 0])
+        lam = 0.0
+    elif abs(su2[1, 0]) < 1e-12:
+        # theta == 0: only phi + lam is determined; set lam = 0.
+        phi = 2.0 * cmath.phase(su2[1, 1])
+        lam = 0.0
+    else:
+        plus = 2.0 * cmath.phase(su2[1, 1])
+        minus = 2.0 * cmath.phase(su2[1, 0])
+        phi = 0.5 * (plus + minus)
+        lam = 0.5 * (plus - minus)
+    return EulerAngles(theta=theta, phi=phi, lam=lam, phase=phase)
+
+
+def fuse(first: np.ndarray, second: np.ndarray) -> EulerAngles:
+    """Euler angles of ``second . first`` (``first`` applied earlier in time)."""
+    return euler_angles(np.asarray(second) @ np.asarray(first))

@@ -1,0 +1,168 @@
+"""Stratification of circuits into alternating 1q / 2q layers (paper Fig. 2).
+
+Error-mitigation workflows (PEC/PEA) and both context-aware passes operate on
+circuits arranged as alternating layers of arbitrary single-qubit gates and
+disjoint Clifford two-qubit gates. :func:`stratify` rewrites an arbitrary
+circuit into this form, fusing runs of single-qubit gates into one ``u`` gate
+per qubit per layer, while preserving the overall unitary (up to global
+phase).
+
+Measurements, delays, and classically conditioned instructions act as
+barriers and are emitted as standalone layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from . import gates as g
+from .circuit import Circuit, Instruction, Moment
+from .euler import euler_angles
+
+
+def _emit_1q_layer(pending: Dict[int, np.ndarray], out: Circuit) -> None:
+    """Flush accumulated single-qubit matrices as a fused 1q moment."""
+    instructions = []
+    for qubit in sorted(pending):
+        matrix = pending[qubit]
+        # rtol must be zero: tiny-but-real rotations (e.g. small virtual Rz
+        # compensations) are not identity.
+        if np.allclose(matrix, np.eye(2), rtol=0.0, atol=1e-12):
+            continue
+        angles = euler_angles(matrix)
+        instructions.append(
+            Instruction(g.u(angles.theta, angles.phi, angles.lam), (qubit,))
+        )
+    out.append_moment(instructions)
+    pending.clear()
+
+
+def stratify(circuit: Circuit, fuse: bool = True) -> Circuit:
+    """Return an equivalent circuit with alternating 1q / 2q layers.
+
+    The output begins and ends with a (possibly empty) 1q layer, and each 2q
+    layer is preceded and followed by a 1q layer, giving the twirling pass
+    its insertion slots. Barrier-like instructions (measure, delay,
+    conditioned gates) flush the layer structure and are emitted verbatim.
+
+    When ``fuse`` is ``False``, single-qubit gates are kept as-is (still
+    grouped into 1q layers) instead of being fused into ``u`` gates; this is
+    mostly useful for debugging.
+    """
+    out = Circuit(circuit.num_qubits, circuit.num_clbits)
+    pending: Dict[int, np.ndarray] = {}
+    pending_raw: Dict[int, List[Instruction]] = {}
+    open_2q: List[Instruction] = []
+    open_2q_qubits: set = set()
+
+    def flush_1q() -> None:
+        if fuse:
+            _emit_1q_layer(pending, out)
+        else:
+            instructions = [i for q in sorted(pending_raw) for i in pending_raw[q]]
+            # Unfused layers may need several moments if a qubit has a run of
+            # gates; emit sequentially.
+            by_depth: Dict[int, List[Instruction]] = {}
+            counts: Dict[int, int] = {}
+            for inst in instructions:
+                qubit = inst.qubits[0]
+                depth = counts.get(qubit, 0)
+                counts[qubit] = depth + 1
+                by_depth.setdefault(depth, []).append(inst)
+            if not by_depth:
+                out.append_moment([])
+            for depth in sorted(by_depth):
+                out.append_moment(by_depth[depth])
+            pending_raw.clear()
+            pending.clear()
+
+    def flush_2q() -> None:
+        nonlocal open_2q, open_2q_qubits
+        out.append_moment(open_2q)
+        open_2q = []
+        open_2q_qubits = set()
+
+    def flush_all() -> None:
+        flush_1q()
+        if open_2q:
+            flush_2q()
+        else:
+            # Keep alternation: nothing to do; the next 1q layer will merge.
+            pass
+
+    def close_layer_pair() -> None:
+        """Emit the current (1q, 2q) layer pair and start fresh."""
+        flush_1q()
+        flush_2q()
+
+    for moment in circuit.moments:
+        for inst in moment:
+            gate = inst.gate
+            barrier_like = (
+                gate.is_measurement or gate.is_delay or inst.condition is not None
+            )
+            if barrier_like:
+                if open_2q:
+                    close_layer_pair()
+                flush_1q()
+                out.append_moment([inst])
+                continue
+            if gate.num_qubits == 1:
+                qubit = inst.qubits[0]
+                if qubit in open_2q_qubits:
+                    close_layer_pair()
+                pending.setdefault(qubit, np.eye(2, dtype=complex))
+                pending[qubit] = gate.matrix @ pending[qubit]
+                pending_raw.setdefault(qubit, []).append(inst)
+            elif gate.num_qubits == 2:
+                a, b = inst.qubits
+                if a in open_2q_qubits or b in open_2q_qubits:
+                    close_layer_pair()
+                # Any pending 1q gates on a or b belong to the layer before
+                # this 2q layer; qubits not in the open 2q layer commute.
+                open_2q.append(inst)
+                open_2q_qubits.update(inst.qubits)
+            else:
+                raise ValueError(f"cannot stratify {gate.num_qubits}-qubit gate")
+        # moments are only an input grouping; ordering per qubit is preserved
+    if open_2q:
+        close_layer_pair()
+        out.append_moment([])  # trailing 1q layer
+    else:
+        flush_1q()
+    return out
+
+
+def layer_kind(moment: Moment) -> str:
+    """Classify a moment: ``"2q"``, ``"measure"``, ``"delay"``, or ``"1q"``."""
+    if moment.has_two_qubit_gate:
+        return "2q"
+    if moment.has_measurement:
+        return "measure"
+    if any(i.gate.is_delay for i in moment):
+        return "delay"
+    return "1q"
+
+
+def two_qubit_layers(circuit: Circuit) -> List[int]:
+    """Indices of the 2q layers of a stratified circuit."""
+    return [i for i, m in enumerate(circuit.moments) if layer_kind(m) == "2q"]
+
+
+def validate_stratified(circuit: Circuit) -> None:
+    """Raise ``ValueError`` if ``circuit`` is not in stratified form."""
+    for i, moment in enumerate(circuit.moments):
+        kinds = set()
+        for inst in moment:
+            if inst.gate.num_qubits == 2:
+                kinds.add("2q")
+            elif inst.gate.is_measurement:
+                kinds.add("measure")
+            elif inst.gate.is_delay:
+                kinds.add("delay")
+            else:
+                kinds.add("1q")
+        if "2q" in kinds and ("1q" in kinds or "measure" in kinds):
+            raise ValueError(f"moment {i} mixes 2q gates with other gates")

@@ -1,0 +1,140 @@
+"""Cartan (Weyl) coordinates of two-qubit gates and ZZ-error absorption.
+
+The canonical interaction ``Ucan(a, b, c) = exp[i(a XX + b YY + c ZZ)]``
+(paper eq. 5) is diagonal in the Bell basis, which makes extracting the
+coordinates and absorbing commuting ``Rzz`` errors straightforward:
+
+    ``Ucan(a, b, c) . Rzz(theta) = Ucan(a, b, c - theta/2)``
+
+since ``Rzz(theta) = exp(-i theta ZZ / 2)``. Compensating a known ``Rzz``
+error therefore costs nothing when a canonical gate neighbors it (paper
+Fig. 1d and Sec. V B). The 3-CNOT hardware realization follows Vatan &
+Williams (Ref. [45]).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from . import gates as g
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .circuit import Circuit
+
+# Bell basis columns: |Phi+>, |Phi->, |Psi+>, |Psi->.
+_BELL = (
+    np.array(
+        [
+            [1, 1, 0, 0],
+            [0, 0, 1, 1],
+            [0, 0, 1, -1],
+            [1, -1, 0, 0],
+        ],
+        dtype=complex,
+    )
+    / math.sqrt(2.0)
+)
+
+# Eigenvalues of (XX, YY, ZZ) on each Bell state, same column order.
+_BELL_EIGS = np.array(
+    [
+        [1, -1, 1],  # Phi+
+        [-1, 1, 1],  # Phi-
+        [1, 1, -1],  # Psi+
+        [-1, -1, -1],  # Psi-
+    ],
+    dtype=float,
+)
+
+
+def canonical_params(matrix: np.ndarray, atol: float = 1e-7) -> Tuple[float, float, float]:
+    """Extract ``(alpha, beta, gamma)`` from a canonical-class matrix.
+
+    Raises ``ValueError`` if ``matrix`` is not of the form ``exp[i(a XX +
+    b YY + c ZZ)]`` (up to global phase), i.e. not diagonal in the Bell
+    basis. Angles are only defined modulo the Weyl-chamber symmetries; this
+    returns the branch with each phase in ``(-pi, pi]``.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (4, 4):
+        raise ValueError("expected a 4x4 matrix")
+    bell = _BELL.conj().T @ matrix @ _BELL
+    off = bell - np.diag(np.diag(bell))
+    if np.max(np.abs(off)) > atol:
+        raise ValueError("matrix is not diagonal in the Bell basis")
+    phases = np.angle(np.diag(bell))
+    # phases_k = a*e_k0 + b*e_k1 + c*e_k2 + phase0 ; solve least squares with
+    # a global-phase column.
+    design = np.hstack([_BELL_EIGS, np.ones((4, 1))])
+    coeffs, *_ = np.linalg.lstsq(design, phases, rcond=None)
+    alpha, beta, gamma, _ = (float(v) for v in coeffs)
+    reconstructed = g.canonical_matrix(alpha, beta, gamma)
+    from ..utils.linalg import allclose_up_to_global_phase
+
+    if not allclose_up_to_global_phase(reconstructed, matrix, atol=1e-5):
+        # Phase wrap-around: re-solve after unwrapping against the first row.
+        raise ValueError("could not resolve canonical parameters (phase branch)")
+    return alpha, beta, gamma
+
+
+def is_canonical(matrix: np.ndarray, atol: float = 1e-7) -> bool:
+    """True if ``matrix`` is a canonical interaction up to global phase."""
+    try:
+        canonical_params(matrix, atol=atol)
+    except ValueError:
+        return False
+    return True
+
+
+def absorb_rzz_before(params: Tuple[float, float, float], theta: float) -> Tuple[float, float, float]:
+    """Canonical params after composing with an earlier ``Rzz(theta)``.
+
+    ``Ucan(a,b,c) . Rzz(theta) = Ucan(a, b, c - theta/2)`` because ``Rzz``
+    commutes with every term of the canonical generator.
+    """
+    alpha, beta, gamma = params
+    return (alpha, beta, gamma - theta / 2.0)
+
+
+def absorb_rzz_after(params: Tuple[float, float, float], theta: float) -> Tuple[float, float, float]:
+    """Canonical params after composing with a later ``Rzz(theta)``."""
+    return absorb_rzz_before(params, theta)  # Rzz commutes with Ucan.
+
+
+def compensate_rzz(params: Tuple[float, float, float], theta: float) -> Tuple[float, float, float]:
+    """Cancel a coherent ``Rzz(theta)`` error adjacent to a canonical gate."""
+    return absorb_rzz_before(params, -theta)
+
+
+def heisenberg_params(jx: float, jy: float, jz: float, dt: float) -> Tuple[float, float, float]:
+    """Canonical params of one Trotter step ``exp(i dt/2 (Jx XX + Jy YY + Jz ZZ))``.
+
+    Matches the paper's convention ``alpha, beta, gamma = -J_i t / 2`` for the
+    Hamiltonian of eq. (7) (note the overall ``-1/2`` in eq. 7).
+    """
+    return (jx * dt / 2.0, jy * dt / 2.0, jz * dt / 2.0)
+
+
+def cnot_synthesis(alpha: float, beta: float, gamma: float) -> "Circuit":
+    """3-CNOT realization of ``Ucan(alpha, beta, gamma)`` (paper Fig. 1d).
+
+    Returns a two-qubit :class:`Circuit` whose unitary equals the canonical
+    matrix up to global phase, using the Vatan-Williams template with the
+    rotation angles quoted in the paper: ``Rz(2 gamma - pi/2)`` on the first
+    qubit and ``Ry(pi/2 - 2 alpha)``, ``Ry(2 beta - pi/2)`` on the second.
+    """
+    from .circuit import Circuit
+
+    circ = Circuit(2)
+    circ.rz(math.pi / 2.0, 1)
+    circ.cx(1, 0)
+    circ.rz(math.pi / 2.0 - 2.0 * gamma, 0)
+    circ.ry(math.pi / 2.0 - 2.0 * alpha, 1)
+    circ.cx(0, 1)
+    circ.ry(2.0 * beta - math.pi / 2.0, 1)
+    circ.cx(1, 0)
+    circ.rz(-math.pi / 2.0, 0)
+    return circ

@@ -1,0 +1,136 @@
+"""End-to-end compilation strategies.
+
+A :class:`Strategy` names one suppression pipeline from the paper's
+comparisons:
+
+========================  =========================================
+``none``                  Pauli twirling only (the paper's baseline
+                          "no suppression except readout + twirling")
+``dd``                    context-unaware aligned X2 DD on all idles
+``staggered_dd``          context-unaware staggered DD (2-coloring)
+``ca_dd``                 Algorithm 1 (Walsh sequences by coloring)
+``ca_ec``                 Algorithm 2 (absorb/insert compensations)
+``ca_ec+dd``              CA-DD first, CA-EC mops up the residual
+                          (the combined strategy of Sec. V E)
+``ec+aligned_dd``         aligned DD plus error compensation — the
+                          "simple DD + EC matches fancy DD" curve of
+                          Fig. 3c
+========================  =========================================
+
+Each realization samples a fresh Pauli twirl, then inserts DD, then runs
+CA-EC (which sees the twirl Paulis and DD pulses, as Algorithm 2 requires).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.schedule import Durations
+from ..device.calibration import Device
+from ..pauli.twirling import apply_twirl
+from ..utils.rng import SeedLike, as_generator
+from .ca_dd import apply_ca_dd
+from .ca_ec import apply_ca_ec
+from .dd import DEFAULT_MIN_DURATION, apply_aligned_dd, apply_staggered_dd
+from .orientation import apply_orientation
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """One suppression pipeline: DD flavor + EC toggle + twirl toggle."""
+
+    name: str
+    dd: str = "none"  # none | aligned | staggered | ca
+    ec: bool = False
+    twirl: bool = True
+
+    def __post_init__(self):
+        if self.dd not in ("none", "aligned", "staggered", "ca"):
+            raise ValueError(f"unknown dd flavor {self.dd!r}")
+
+
+STRATEGIES: Dict[str, Strategy] = {
+    "none": Strategy("none"),
+    "dd": Strategy("dd", dd="aligned"),
+    "staggered_dd": Strategy("staggered_dd", dd="staggered"),
+    "ca_dd": Strategy("ca_dd", dd="ca"),
+    "ca_ec": Strategy("ca_ec", ec=True),
+    "ca_ec+dd": Strategy("ca_ec+dd", dd="ca", ec=True),
+    "ec+aligned_dd": Strategy("ec+aligned_dd", dd="aligned", ec=True),
+}
+
+
+def get_strategy(name_or_strategy) -> Strategy:
+    if isinstance(name_or_strategy, Strategy):
+        return name_or_strategy
+    try:
+        return STRATEGIES[name_or_strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name_or_strategy!r}; "
+            f"choose from {sorted(STRATEGIES)}"
+        ) from None
+
+
+def compile_circuit(
+    circuit: Circuit,
+    device: Device,
+    strategy="none",
+    seed: SeedLike = None,
+    planner_durations: Optional[Durations] = None,
+    min_dd_duration: float = DEFAULT_MIN_DURATION,
+    orient: bool = False,
+) -> Circuit:
+    """Produce one compiled realization of ``circuit`` under a strategy.
+
+    The input must be in stratified (alternating-layer) form when twirling
+    is enabled. ``planner_durations`` is CA-EC's timing belief; the default
+    is the device's true table (see Fig. 9c for why they can differ).
+    ``orient=True`` first re-orients ECR/CX gates to avoid same-role
+    adjacencies (the paper's context-avoidance outlook).
+    """
+    strategy = get_strategy(strategy)
+    rng = as_generator(seed)
+    out = circuit
+    if orient:
+        out, _report = apply_orientation(out, device)
+    if strategy.twirl:
+        out, _record = apply_twirl(out, rng)
+    if strategy.dd == "aligned":
+        out = apply_aligned_dd(out, device, min_dd_duration)
+    elif strategy.dd == "staggered":
+        out = apply_staggered_dd(out, device, min_dd_duration)
+    elif strategy.dd == "ca":
+        out, _report = apply_ca_dd(out, device, min_dd_duration)
+    if strategy.ec:
+        out, _report = apply_ca_ec(out, device, durations=planner_durations)
+    return out
+
+
+def realization_factory(
+    circuit: Circuit,
+    device: Device,
+    strategy="none",
+    planner_durations: Optional[Durations] = None,
+    min_dd_duration: float = DEFAULT_MIN_DURATION,
+    orient: bool = False,
+) -> Callable[[np.random.Generator], Circuit]:
+    """A callable producing fresh twirl realizations, for the executor."""
+    strategy = get_strategy(strategy)
+
+    def factory(rng: np.random.Generator) -> Circuit:
+        return compile_circuit(
+            circuit,
+            device,
+            strategy,
+            seed=rng,
+            planner_durations=planner_durations,
+            min_dd_duration=min_dd_duration,
+            orient=orient,
+        )
+
+    return factory

@@ -1,0 +1,91 @@
+"""Walsh-Hadamard dynamical-decoupling sequences (paper Secs. III C, IV A).
+
+The sign pattern of sequency-``k`` Walsh function over ``2^m`` equal time
+bins defines where a qubit's DD pulses go: one X pulse at every sign change
+(plus a terminal pulse when the count is odd, restoring the logical frame).
+
+Properties used by the compiler (paper Fig. 5b):
+
+* every ``k >= 1`` row integrates to zero  -> single-qubit Z suppressed;
+* any two distinct rows are orthogonal     -> mutual ZZ suppressed, and each
+  row is also orthogonal to the all-plus row 0, so a Walsh-dressed qubit is
+  automatically decoupled from undressed neighbors;
+* pulse count grows with sequency          -> minimizing colors minimizes
+  pulses, which is why the coloring pass prefers low colors.
+
+Sequency 1 matches the ECR control echo (one flip at the midpoint) and
+sequency 2 matches the target rotary echoes (flips at 1/4 and 3/4), so
+active gate qubits are pre-colored 1 and 2 in the coloring pass.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+import numpy as np
+
+DEFAULT_BINS = 8  # supports sequencies 0..7, the "first 7 Walsh sequences"
+
+
+def _gray_code(k: int) -> int:
+    return k ^ (k >> 1)
+
+
+def _bit_reverse(value: int, bits: int) -> int:
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out
+
+
+@lru_cache(maxsize=None)
+def walsh_signs(sequency: int, bins: int = DEFAULT_BINS) -> Tuple[int, ...]:
+    """Sign pattern (+1/-1 per bin) of the sequency-ordered Walsh function."""
+    if bins & (bins - 1):
+        raise ValueError("bins must be a power of two")
+    m = bins.bit_length() - 1
+    if not 0 <= sequency < bins:
+        raise ValueError(f"sequency must be in [0, {bins})")
+    natural = _bit_reverse(_gray_code(sequency), m)
+    signs = []
+    for t in range(bins):
+        parity = bin(natural & t).count("1") & 1
+        signs.append(-1 if parity else 1)
+    return tuple(signs)
+
+
+@lru_cache(maxsize=None)
+def walsh_fractions(sequency: int, bins: int = DEFAULT_BINS) -> Tuple[float, ...]:
+    """Pulse fractions of the sequency-``k`` DD sequence.
+
+    One pulse at each sign change of the Walsh pattern; if the count is odd
+    a terminal pulse at fraction 1.0 restores the identity frame (it adds no
+    evolution time, only a physical pulse).
+    """
+    signs = walsh_signs(sequency, bins)
+    fractions: List[float] = []
+    for i in range(1, bins):
+        if signs[i] != signs[i - 1]:
+            fractions.append(i / bins)
+    if len(fractions) % 2 == 1:
+        fractions.append(1.0)
+    return tuple(fractions)
+
+
+def pulse_count(sequency: int, bins: int = DEFAULT_BINS) -> int:
+    """Number of physical X pulses in the sequency-``k`` sequence."""
+    return len(walsh_fractions(sequency, bins))
+
+
+def max_sequency(bins: int = DEFAULT_BINS) -> int:
+    """Largest usable color for the given bin resolution."""
+    return bins - 1
+
+
+def orthogonal(seq_a: int, seq_b: int, bins: int = DEFAULT_BINS) -> bool:
+    """Whether two sequencies mutually refocus ZZ (row orthogonality)."""
+    a = np.asarray(walsh_signs(seq_a, bins))
+    b = np.asarray(walsh_signs(seq_b, bins))
+    return int(np.dot(a, b)) == 0

@@ -1,0 +1,36 @@
+"""Device models: topology, synthetic calibration, crosstalk graphs."""
+
+from .calibration import (
+    Device,
+    NoiseProfile,
+    PairParams,
+    QubitParams,
+    fake_brisbane,
+    fake_device_for,
+    fake_nazca,
+    fake_penguino,
+    fake_sherbrooke,
+    synthetic_device,
+)
+from .crosstalk import build_crosstalk_graph, max_crosstalk_degree
+from .topology import Topology, eagle, heavy_hex, linear_chain, ring
+
+__all__ = [
+    "Device",
+    "NoiseProfile",
+    "PairParams",
+    "QubitParams",
+    "fake_brisbane",
+    "fake_device_for",
+    "fake_nazca",
+    "fake_penguino",
+    "fake_sherbrooke",
+    "synthetic_device",
+    "build_crosstalk_graph",
+    "max_crosstalk_degree",
+    "Topology",
+    "eagle",
+    "heavy_hex",
+    "linear_chain",
+    "ring",
+]

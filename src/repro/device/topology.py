@@ -1,0 +1,111 @@
+"""Qubit connectivity topologies.
+
+Provides the heavy-hex lattice used by IBM Eagle-class processors (the
+devices in the paper: ibm_nazca, ibm_brisbane, ibm_sherbrooke) plus simple
+chains and rings for the smaller experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import networkx as nx
+
+
+class Topology:
+    """An undirected qubit-coupling graph with contiguous integer labels."""
+
+    def __init__(self, num_qubits: int, edges: Iterable[Tuple[int, int]]):
+        self.num_qubits = int(num_qubits)
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(self.num_qubits))
+        for a, b in edges:
+            if not (0 <= a < num_qubits and 0 <= b < num_qubits):
+                raise ValueError(f"edge ({a},{b}) out of range")
+            if a == b:
+                raise ValueError(f"self-loop on qubit {a}")
+            self.graph.add_edge(*sorted((a, b)))
+
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        return sorted(tuple(sorted(e)) for e in self.graph.edges)
+
+    def neighbors(self, qubit: int) -> List[int]:
+        return sorted(self.graph.neighbors(qubit))
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def degree(self, qubit: int) -> int:
+        return self.graph.degree(qubit)
+
+    def next_nearest_pairs(self) -> List[Tuple[int, int, int]]:
+        """All ``(a, middle, b)`` triples with a-middle and middle-b edges."""
+        triples = []
+        for middle in range(self.num_qubits):
+            nbrs = self.neighbors(middle)
+            for i, a in enumerate(nbrs):
+                for b in nbrs[i + 1:]:
+                    triples.append((a, middle, b))
+        return triples
+
+    def subtopology(self, qubits: Sequence[int]) -> Tuple["Topology", Dict[int, int]]:
+        """Induced subgraph on ``qubits``, relabeled to ``0..k-1``.
+
+        Returns the new topology and the old->new label mapping.
+        """
+        mapping = {q: i for i, q in enumerate(qubits)}
+        edges = [
+            (mapping[a], mapping[b])
+            for a, b in self.edges
+            if a in mapping and b in mapping
+        ]
+        return Topology(len(qubits), edges), mapping
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Topology({self.num_qubits} qubits, {len(self.edges)} edges)"
+
+
+def linear_chain(num_qubits: int) -> Topology:
+    """A 1-D chain ``0 - 1 - ... - (n-1)``."""
+    return Topology(num_qubits, [(i, i + 1) for i in range(num_qubits - 1)])
+
+
+def ring(num_qubits: int) -> Topology:
+    """A cycle of ``num_qubits`` qubits (paper Fig. 7a uses a 12-ring)."""
+    edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+    return Topology(num_qubits, edges)
+
+
+def heavy_hex(rows: int = 7, row_length: int = 15) -> Topology:
+    """An Eagle-style heavy-hex lattice.
+
+    ``rows`` horizontal chains of ``row_length`` qubits are connected by
+    bridge qubits every four columns, with the bridge columns offset by two
+    between successive row pairs — the same staggering as IBM's 127-qubit
+    Eagle devices (rows=7, row_length=15 gives 127 qubits).
+    """
+    if rows < 1 or row_length < 1:
+        raise ValueError("rows and row_length must be positive")
+    edges: List[Tuple[int, int]] = []
+    row_start: List[int] = []
+    counter = 0
+    for r in range(rows):
+        row_start.append(counter)
+        for c in range(row_length - 1):
+            edges.append((counter + c, counter + c + 1))
+        counter += row_length
+    for r in range(rows - 1):
+        offset = 0 if r % 2 == 0 else 2
+        columns = range(offset, row_length, 4)
+        for c in columns:
+            bridge = counter
+            counter += 1
+            edges.append((row_start[r] + c, bridge))
+            edges.append((bridge, row_start[r + 1] + c))
+    return Topology(counter, edges)
+
+
+def eagle() -> Topology:
+    """The 127-qubit heavy-hex layout (7 rows of 15 plus bridges)."""
+    return heavy_hex(rows=7, row_length=15)

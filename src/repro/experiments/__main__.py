@@ -1,0 +1,168 @@
+"""Command-line runner for the paper's experiments.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig9
+    python -m repro.experiments fig3 --quick
+    python -m repro.experiments all --quick
+
+``--quick`` shrinks shot counts and sweeps so each experiment finishes in
+seconds (useful for smoke-checking an install); default parameters match
+the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from . import (
+    run_fig3,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_nnn_walsh,
+    run_parity,
+    run_stark,
+    run_table1,
+)
+
+
+def _fig3(quick: bool) -> List[str]:
+    result = run_fig3(
+        depths=(0, 4, 8) if quick else (0, 4, 8, 12, 16, 20),
+        shots=8 if quick else 32,
+        realizations=2 if quick else 6,
+    )
+    return result.rows()
+
+
+def _fig4(quick: bool) -> List[str]:
+    lines = []
+    stark = run_stark(
+        times=tuple(np.linspace(500.0, 20000.0 if quick else 60000.0, 40 if quick else 100)),
+        shots=8 if quick else 16,
+    )
+    lines.append(
+        f"[fig4a] stark shift: measured {stark.stark_shift / 1e-6:.1f} kHz, "
+        f"calibrated {stark.calibrated_stark / 1e-6:.1f} kHz"
+    )
+    parity = run_parity(
+        times=tuple(np.linspace(0.0, 20000.0, 40 if quick else 120)),
+        shots=32 if quick else 120,
+    )
+    signal = np.asarray(parity["signal"])
+    lines.append(
+        f"[fig4b] parity beating: fringe range [{signal.min():.2f}, {signal.max():.2f}]"
+    )
+    nnn = run_nnn_walsh(
+        depths=(0, 8) if quick else (0, 8, 16, 24), shots=16 if quick else 32
+    )
+    for name, curve in nnn.curves.items():
+        lines.append(
+            f"[fig4c] {name:>10s}: " + " ".join(f"{v:.3f}" for v in curve)
+        )
+    return lines
+
+
+def _fig6(quick: bool) -> List[str]:
+    result = run_fig6(
+        steps=(0, 1, 2) if quick else (0, 1, 2, 3, 4, 5),
+        shots=8 if quick else 20,
+        realizations=2 if quick else 6,
+    )
+    return result.rows()
+
+
+def _fig7(quick: bool) -> List[str]:
+    result = run_fig7(
+        num_qubits=6 if quick else 12,
+        steps=(0, 1, 2) if quick else (0, 1, 2, 3, 4, 5),
+        shots=6 if quick else 14,
+        realizations=3 if quick else 10,
+    )
+    return result.rows()
+
+
+def _fig8(quick: bool) -> List[str]:
+    result = run_fig8(
+        depths=(1, 2) if quick else (1, 2, 4, 6),
+        samples=2 if quick else 6,
+        shots=6 if quick else 12,
+    )
+    return result.rows()
+
+
+def _fig9(quick: bool) -> List[str]:
+    result = run_fig9(
+        estimates=list(np.linspace(0.0, 3000.0, 5 if quick else 11)),
+        shots=40 if quick else 140,
+    )
+    return result.rows()
+
+
+def _fig10(quick: bool) -> List[str]:
+    result = run_fig10(
+        steps=(0, 1, 2) if quick else (0, 1, 2, 3, 4, 5),
+        shots=8 if quick else 24,
+        realizations=3 if quick else 10,
+    )
+    return result.rows()
+
+
+def _table1(quick: bool) -> List[str]:
+    result = run_table1(depth=4 if quick else 8, shots=24 if quick else 48)
+    return result.formatted()
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], List[str]]] = {
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "table1": _table1,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="which experiment to run ('list' to enumerate)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced statistics (seconds)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"=== {name} ===")
+        start = time.time()
+        for line in EXPERIMENTS[name](args.quick):
+            print(line)
+        print(f"({time.time() - start:.1f} s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

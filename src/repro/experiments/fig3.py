@@ -1,0 +1,87 @@
+"""Fig. 3 reproduction: Ramsey characterization of the four error contexts.
+
+Produces fidelity-vs-depth series for each case and strategy set:
+
+* case I   (panel c): noisy / aligned DD / staggered DD / EC / EC+aligned DD
+* case II  (panel d): noisy / DD / EC          (control spectator)
+* case III (panel e): noisy / DD / EC          (target spectator)
+* case IV  (panel f): noisy / EC               (adjacent controls; DD n/a)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..benchmarking.ramsey import CASE_I, CASE_II, CASE_III, CASE_IV, RamseyCase, ramsey_curve
+from ..device.calibration import Device, synthetic_device
+from ..device.topology import linear_chain
+from ..sim.executor import SimOptions
+
+CASE_STRATEGIES: Dict[str, List[str]] = {
+    CASE_I.name: ["none", "dd", "staggered_dd", "ca_ec", "ec+aligned_dd"],
+    CASE_II.name: ["none", "ca_dd", "ca_ec"],
+    CASE_III.name: ["none", "ca_dd", "ca_ec"],
+    CASE_IV.name: ["none", "ca_ec"],
+}
+
+CASES: Dict[str, RamseyCase] = {
+    c.name: c for c in (CASE_I, CASE_II, CASE_III, CASE_IV)
+}
+
+
+@dataclass
+class Fig3Result:
+    """Per-case, per-strategy fidelity series."""
+
+    depths: List[int]
+    curves: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+
+    def rows(self) -> List[str]:
+        lines = []
+        for case_name, by_strategy in self.curves.items():
+            lines.append(f"[{case_name}] depths={self.depths}")
+            for strategy, values in by_strategy.items():
+                formatted = " ".join(f"{v:.3f}" for v in values)
+                lines.append(f"  {strategy:>14s}: {formatted}")
+        return lines
+
+
+def run_fig3(
+    depths: Sequence[int] = (0, 2, 4, 8, 12, 16, 20, 24),
+    tau: float = 500.0,
+    shots: int = 48,
+    realizations: int = 8,
+    seed: int = 1001,
+    cases: Sequence[str] = tuple(CASES),
+) -> Fig3Result:
+    """Run all Ramsey contexts; depths should be even (case IV self-inverts).
+
+    The gate-context cases (II-IV) run twirled — as in the paper's layered
+    workflow, and necessary for case IV, whose repeated untwirled layer
+    accidentally echoes away its own control-control ZZ.
+    """
+    result = Fig3Result(depths=list(depths))
+    options = SimOptions(shots=shots)
+    for case_name in cases:
+        case = CASES[case_name]
+        device = synthetic_device(
+            linear_chain(case.num_qubits),
+            name=f"fig3_{case.name}",
+            seed=seed + case.num_qubits,
+        )
+        twirl = case.name != CASE_I.name
+        result.curves[case.name] = {}
+        for strategy in CASE_STRATEGIES[case.name]:
+            result.curves[case.name][strategy] = ramsey_curve(
+                case,
+                device,
+                depths,
+                strategy,
+                tau=tau,
+                twirl=twirl,
+                realizations=realizations if twirl else 1,
+                options=options,
+                seed=seed,
+            )
+    return result

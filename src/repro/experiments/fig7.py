@@ -1,0 +1,101 @@
+"""Fig. 7 reproduction: Heisenberg ring dynamics and mitigation overhead.
+
+Panel (c): ``<Z2>`` versus Trotter step for ideal / twirl-only / uniform DD
+/ CA-DD / CA-EC. Panel (d): the global-depolarizing mitigation overhead of
+each strategy, and the reduction factors relative to no suppression and to
+context-unaware DD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..apps.heisenberg import heisenberg_circuit, heisenberg_device, site_z_label
+from ..benchmarking.mitigation import DepolarizingFit, fit_global_depolarizing
+from ..compiler.strategies import realization_factory
+from ..sim.executor import SimOptions, average_over_realizations, expectation_values
+
+STRATEGIES = ("none", "dd", "ca_dd", "ca_ec")
+
+
+@dataclass
+class Fig7Result:
+    steps: List[int]
+    ideal: List[float]
+    curves: Dict[str, List[float]] = field(default_factory=dict)
+    fits: Dict[str, DepolarizingFit] = field(default_factory=dict)
+
+    def overhead_at(self, strategy: str, depth: float) -> float:
+        return self.fits[strategy].overhead(depth)
+
+    def reduction_over(self, reference: str, strategy: str, depth: float) -> float:
+        """Overhead reduction factor of ``strategy`` versus ``reference``."""
+        return self.overhead_at(reference, depth) / self.overhead_at(strategy, depth)
+
+    def rows(self) -> List[str]:
+        lines = [f"steps: {self.steps}"]
+        lines.append("ideal:   " + " ".join(f"{v:+.3f}" for v in self.ideal))
+        for strategy, values in self.curves.items():
+            lines.append(
+                f"{strategy:>8s}: " + " ".join(f"{v:+.3f}" for v in values)
+            )
+        depth = self.steps[-1]
+        for strategy in self.curves:
+            if strategy == "none":
+                continue
+            lines.append(
+                f"overhead reduction {strategy} vs none @d={depth}: "
+                f"{self.reduction_over('none', strategy, depth):.2f}x"
+            )
+        return lines
+
+
+def run_fig7(
+    num_qubits: int = 12,
+    steps: Sequence[int] = (0, 1, 2, 3, 4, 5),
+    site: int = 2,
+    shots: int = 16,
+    realizations: int = 5,
+    seed: int = 4001,
+    coupling: float = 1.2,
+) -> Fig7Result:
+    device = heisenberg_device(num_qubits, seed=seed)
+    observable = {"z": site_z_label(num_qubits, site)}
+    ideal_options = SimOptions(
+        shots=1,
+        coherent=False,
+        stochastic=False,
+        dephasing=False,
+        amplitude_damping=False,
+        gate_errors=False,
+        seed=0,
+    )
+    ideal = [
+        expectation_values(
+            heisenberg_circuit(num_qubits, d, coupling=coupling),
+            device.ideal(),
+            observable,
+            ideal_options,
+        ).values["z"]
+        for d in steps
+    ]
+    result = Fig7Result(steps=list(steps), ideal=ideal)
+    options = SimOptions(shots=shots)
+    for strategy in STRATEGIES:
+        values = []
+        for depth in steps:
+            circuit = heisenberg_circuit(num_qubits, depth, coupling=coupling)
+            factory = realization_factory(circuit, device, strategy)
+            res = average_over_realizations(
+                factory,
+                device,
+                observable,
+                realizations=realizations,
+                options=options,
+                seed=seed + depth,
+            )
+            values.append(res.values["z"])
+        result.curves[strategy] = values
+        result.fits[strategy] = fit_global_depolarizing(steps, values, ideal)
+    return result

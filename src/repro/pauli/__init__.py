@@ -1,0 +1,18 @@
+"""Pauli algebra, Clifford conjugation tables, and Pauli twirling."""
+
+from .conjugation import conjugate_pauli_numeric, conjugate_through, conjugation_table, is_supported
+from .pauli import Pauli, commutes, pauli_labels
+from .twirling import TwirlRecord, apply_twirl, sample_layer_twirl
+
+__all__ = [
+    "conjugate_pauli_numeric",
+    "conjugate_through",
+    "conjugation_table",
+    "is_supported",
+    "Pauli",
+    "commutes",
+    "pauli_labels",
+    "TwirlRecord",
+    "apply_twirl",
+    "sample_layer_twirl",
+]

@@ -1,0 +1,71 @@
+"""Clifford conjugation of Pauli operators, computed numerically and cached.
+
+For a Clifford gate ``G`` and Pauli ``P``, ``G P G^dagger = s Q`` for another
+Pauli ``Q`` and sign ``s``. The twirling pass needs this to pick the Pauli
+that undoes a random pre-gate Pauli (paper Sec. III A), and CA-EC needs it to
+push compensation operators through twirl layers.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..circuits.gates import CX_MAT, CZ_MAT, ECR_MAT
+from .pauli import Pauli, pauli_labels
+
+_GATE_MATRICES = {"cx": CX_MAT, "cz": CZ_MAT, "ecr": ECR_MAT}
+
+
+def conjugate_pauli_numeric(
+    gate_matrix: np.ndarray, pauli: Pauli
+) -> Tuple[Pauli, int]:
+    """Compute ``G P G^dagger = s Q`` numerically; returns ``(Q, s)``.
+
+    Raises ``ValueError`` when the result is not a (signed) Pauli, i.e. when
+    ``G`` is not Clifford.
+    """
+    conjugated = gate_matrix @ pauli.matrix() @ gate_matrix.conj().T
+    dim = conjugated.shape[0]
+    num_qubits = int(np.log2(dim))
+    for label in pauli_labels(num_qubits):
+        candidate = Pauli.from_label(label).matrix()
+        overlap = np.trace(candidate.conj().T @ conjugated) / dim
+        if abs(abs(overlap) - 1.0) < 1e-9:
+            sign = int(round(overlap.real))
+            if sign not in (1, -1) or not np.allclose(
+                conjugated, sign * candidate, atol=1e-9
+            ):
+                raise ValueError("conjugation result has a non-real phase")
+            return Pauli.from_label(label), sign
+    raise ValueError("gate is not Clifford: conjugated Pauli is not a Pauli")
+
+
+@lru_cache(maxsize=None)
+def conjugation_table(gate_name: str) -> Dict[str, Tuple[str, int]]:
+    """Full conjugation table ``P -> (Q, sign)`` for a named 2q Clifford."""
+    try:
+        matrix = _GATE_MATRICES[gate_name]
+    except KeyError:
+        raise ValueError(f"no conjugation table for gate {gate_name!r}") from None
+    table = {}
+    for label in pauli_labels(2):
+        q, s = conjugate_pauli_numeric(matrix, Pauli.from_label(label))
+        table[label] = (q.label, s)
+    return table
+
+
+def conjugate_through(gate_name: str, label: str) -> Tuple[str, int]:
+    """``G P G^dagger`` for a named gate: returns ``(Q_label, sign)``.
+
+    ``label`` is a 2-character Pauli string with the leftmost character on
+    the gate's first (control) qubit.
+    """
+    return conjugation_table(gate_name)[label]
+
+
+def is_supported(gate_name: str) -> bool:
+    """Whether a conjugation table exists for ``gate_name``."""
+    return gate_name in _GATE_MATRICES

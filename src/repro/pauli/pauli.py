@@ -1,0 +1,116 @@
+"""N-qubit Pauli operators.
+
+A :class:`Pauli` is ``i^phase`` times a tensor product of I/X/Y/Z factors.
+Multiplication and commutation checks are O(n) table lookups. Used by the
+twirling machinery and by CA-EC's commute/anticommute bookkeeping (paper
+Algorithm 2, lines 22-27).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from ..circuits.gates import PAULI_MATRICES
+
+# Single-qubit products: (A, B) -> (C, k) meaning A @ B = i^k * C.
+_PRODUCT = {
+    ("I", "I"): ("I", 0), ("I", "X"): ("X", 0), ("I", "Y"): ("Y", 0), ("I", "Z"): ("Z", 0),
+    ("X", "I"): ("X", 0), ("X", "X"): ("I", 0), ("X", "Y"): ("Z", 1), ("X", "Z"): ("Y", 3),
+    ("Y", "I"): ("Y", 0), ("Y", "X"): ("Z", 3), ("Y", "Y"): ("I", 0), ("Y", "Z"): ("X", 1),
+    ("Z", "I"): ("Z", 0), ("Z", "X"): ("Y", 1), ("Z", "Y"): ("X", 3), ("Z", "Z"): ("I", 0),
+}
+
+
+@dataclass(frozen=True)
+class Pauli:
+    """``i^phase`` times a Pauli string.
+
+    ``label`` convention: the leftmost character acts on the highest-index
+    qubit (textbook string order). Use :meth:`factor` for per-qubit access.
+    """
+
+    label: str
+    phase: int = 0  # exponent of i, mod 4
+
+    def __post_init__(self):
+        if any(ch not in "IXYZ" for ch in self.label):
+            raise ValueError(f"invalid Pauli label {self.label!r}")
+        object.__setattr__(self, "phase", self.phase % 4)
+
+    @classmethod
+    def from_label(cls, label: str, phase: int = 0) -> "Pauli":
+        return cls(label.upper(), phase)
+
+    @classmethod
+    def identity(cls, num_qubits: int) -> "Pauli":
+        return cls("I" * num_qubits)
+
+    @classmethod
+    def single(cls, num_qubits: int, qubit: int, kind: str) -> "Pauli":
+        """Single-qubit Pauli ``kind`` on ``qubit``, identity elsewhere."""
+        chars = ["I"] * num_qubits
+        chars[num_qubits - 1 - qubit] = kind.upper()
+        return cls("".join(chars))
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.label)
+
+    def factor(self, qubit: int) -> str:
+        """The single-qubit Pauli acting on ``qubit``."""
+        return self.label[self.num_qubits - 1 - qubit]
+
+    @property
+    def weight(self) -> int:
+        """Number of non-identity tensor factors."""
+        return sum(1 for ch in self.label if ch != "I")
+
+    def __mul__(self, other: "Pauli") -> "Pauli":
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("qubit-count mismatch")
+        phase = self.phase + other.phase
+        chars = []
+        for a, b in zip(self.label, other.label):
+            c, k = _PRODUCT[(a, b)]
+            chars.append(c)
+            phase += k
+        return Pauli("".join(chars), phase % 4)
+
+    def commutes_with(self, other: "Pauli") -> bool:
+        """True when ``[self, other] = 0`` (else they anticommute)."""
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("qubit-count mismatch")
+        anti = 0
+        for a, b in zip(self.label, other.label):
+            if a != "I" and b != "I" and a != b:
+                anti ^= 1
+        return anti == 0
+
+    def matrix(self) -> np.ndarray:
+        """Dense matrix; qubit 0 is the least significant index bit."""
+        out = np.array([[1.0 + 0j]])
+        for ch in self.label:
+            out = np.kron(out, PAULI_MATRICES[ch])
+        return (1j**self.phase) * out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        prefix = {0: "", 1: "i", 2: "-", 3: "-i"}[self.phase]
+        return f"{prefix}{self.label}"
+
+
+def commutes(label_a: str, label_b: str) -> bool:
+    """Commutation check on Pauli labels of equal length."""
+    return Pauli.from_label(label_a).commutes_with(Pauli.from_label(label_b))
+
+
+def pauli_labels(num_qubits: int) -> Iterable[str]:
+    """All ``4**n`` Pauli labels, identity first."""
+    if num_qubits == 0:
+        yield ""
+        return
+    for first in "IXYZ":
+        for rest in pauli_labels(num_qubits - 1):
+            yield first + rest

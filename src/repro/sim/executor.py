@@ -1,0 +1,392 @@
+"""Monte-Carlo trajectory executor.
+
+Each trajectory samples one realization of the stochastic noise (per-shot
+quasi-static detuning, charge-parity sign, dephasing/damping jumps, gate
+depolarizing events) and evolves a pure state through the scheduled circuit:
+
+1. measurements collapse at the start of their moment;
+2. the moment's coherent Z/ZZ phases (static crosstalk + this shot's
+   detunings, modulated by sign trajectories) are applied as one diagonal;
+3. stochastic dephasing / amplitude-damping jumps are sampled per qubit;
+4. the moment's ideal unitaries (including DD nets and conditioned gates)
+   are applied;
+5. gate-depolarizing events are sampled per physical gate.
+
+Expectation values are computed exactly on each trajectory (emulating the
+readout-corrected results the paper reports); sampled readout with
+assignment errors is available for probability-type experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.schedule import ScheduledCircuit, ScheduledMoment, schedule
+from ..device.calibration import Device
+from ..pauli.pauli import Pauli
+from ..utils.rng import SeedLike, as_generator
+from .coherent import CoherentAccumulation, accumulate_coherent
+from .statevector import StateVector
+from .timeline import MomentTimeline, build_timeline
+
+_VIRTUAL = {"rz", "z", "s", "sdg", "t", "id"}
+_PAULI_1Q = ("X", "Y", "Z")
+_PAULI_2Q = [
+    (a, b) for a in ("I", "X", "Y", "Z") for b in ("I", "X", "Y", "Z")
+][1:]
+
+
+@dataclass(frozen=True)
+class SimOptions:
+    """Noise-model toggles and sampling configuration."""
+
+    shots: int = 128
+    seed: SeedLike = None
+    coherent: bool = True
+    stochastic: bool = True
+    dephasing: bool = True
+    amplitude_damping: bool = True
+    gate_errors: bool = True
+    readout_errors: bool = False
+    stark_from_1q: bool = False
+
+    def with_seed(self, seed: SeedLike) -> "SimOptions":
+        from dataclasses import replace
+
+        return replace(self, seed=seed)
+
+
+@dataclass
+class SimResult:
+    """Mean and standard error per requested quantity."""
+
+    values: Dict[str, float]
+    errors: Dict[str, float]
+    shots: int
+
+    def __getitem__(self, key: str) -> float:
+        return self.values[key]
+
+
+def _sample_detunings(device: Device, rng: np.random.Generator) -> np.ndarray:
+    """Per-shot quasi-static detuning + random-sign charge parity (GHz)."""
+    n = device.num_qubits
+    out = np.zeros(n)
+    for q in range(n):
+        params = device.qubit(q)
+        if params.quasistatic_sigma > 0.0:
+            out[q] += rng.normal(0.0, params.quasistatic_sigma)
+        if params.parity_delta > 0.0:
+            out[q] += params.parity_delta * (1 if rng.random() < 0.5 else -1)
+    return out
+
+
+def _dephasing_prob(t2: float, t1: float, duration: float) -> float:
+    """Z-flip probability over ``duration`` from pure dephasing."""
+    if duration <= 0.0 or not math.isfinite(t2):
+        return 0.0
+    inv_tphi = 1.0 / t2 - 1.0 / (2.0 * t1) if math.isfinite(t1) else 1.0 / t2
+    inv_tphi = max(inv_tphi, 0.0)
+    return 0.5 * (1.0 - math.exp(-duration * inv_tphi))
+
+
+class Executor:
+    """Runs one scheduled circuit many times under sampled noise."""
+
+    def __init__(
+        self,
+        scheduled: ScheduledCircuit,
+        device: Device,
+        options: Optional[SimOptions] = None,
+    ):
+        if scheduled.num_qubits != device.num_qubits:
+            raise ValueError(
+                f"circuit has {scheduled.num_qubits} qubits, device has "
+                f"{device.num_qubits}"
+            )
+        self.scheduled = scheduled
+        self.device = device
+        self.options = options or SimOptions()
+        self._timelines: List[MomentTimeline] = [
+            build_timeline(sm.moment, scheduled.num_qubits, sm.duration)
+            for sm in scheduled
+        ]
+        # Static coherent accumulation is shot-independent; per-shot detuning
+        # contributions are added on top of a cached copy.
+        self._static_acc: List[CoherentAccumulation] = [
+            accumulate_coherent(
+                tl, device, detunings=None, stark_from_1q=self.options.stark_from_1q
+            )
+            if self.options.coherent
+            else CoherentAccumulation()
+            for tl in self._timelines
+        ]
+
+    # -- single trajectory ---------------------------------------------------
+
+    def _run_trajectory(
+        self, rng: np.random.Generator
+    ) -> Tuple[StateVector, List[int]]:
+        opts = self.options
+        n = self.scheduled.num_qubits
+        state = StateVector(n)
+        clbits = [0] * self.scheduled.circuit.num_clbits
+        detunings = (
+            _sample_detunings(self.device, rng)
+            if (opts.stochastic and opts.coherent)
+            else None
+        )
+
+        for sm, timeline, static_acc in zip(
+            self.scheduled, self._timelines, self._static_acc
+        ):
+            moment = sm.moment
+            # 1. measurements collapse first; idle neighbors then accumulate
+            # (conditional) phase with the collapsed qubit for the rest of
+            # the readout window.
+            for inst in moment:
+                if inst.gate.is_measurement:
+                    outcome = state.measure(inst.qubits[0], rng)
+                    clbits[inst.clbits[0]] = outcome
+
+            # 2. coherent phases
+            if opts.coherent:
+                acc = static_acc
+                if detunings is not None and sm.duration > 0.0:
+                    acc = CoherentAccumulation(dict(static_acc.z), dict(static_acc.zz))
+                    for q in range(n):
+                        rate = detunings[q]
+                        if rate != 0.0:
+                            acc.add_z(
+                                q,
+                                2.0 * math.pi * rate * sm.duration
+                                * timeline.sign_integral(q),
+                            )
+                state.apply_phases(acc)
+
+            # 3. stochastic dephasing / damping
+            if sm.duration > 0.0:
+                for q in range(n):
+                    params = self.device.qubit(q)
+                    if opts.dephasing:
+                        p_z = _dephasing_prob(params.t2, params.t1, sm.duration)
+                        if p_z > 0.0 and rng.random() < p_z:
+                            state.apply_pauli("Z", q)
+                    if opts.amplitude_damping and math.isfinite(params.t1):
+                        gamma = 1.0 - math.exp(-sm.duration / params.t1)
+                        if gamma > 0.0:
+                            p_jump = gamma * state.probability_one(q)
+                            if rng.random() < p_jump:
+                                _apply_decay_jump(state, q)
+                            else:
+                                _apply_no_jump(state, q, gamma)
+
+            # 4. ideal unitaries
+            for inst in moment:
+                gate = inst.gate
+                if gate.is_measurement or gate.is_delay:
+                    continue
+                if inst.condition is not None:
+                    clbit, value = inst.condition
+                    if clbits[clbit] != value:
+                        continue
+                if gate.matrix is not None:
+                    state.apply_gate(gate.matrix, inst.qubits)
+
+            # 5. gate errors
+            if opts.gate_errors:
+                self._apply_gate_errors(state, moment, rng)
+
+        return state, clbits
+
+    def _apply_gate_errors(self, state, moment, rng) -> None:
+        for inst in moment:
+            gate = inst.gate
+            if gate.is_measurement or gate.is_delay:
+                continue
+            if gate.num_qubits == 2:
+                p2 = self.device.pair_error(*inst.qubits) * gate.error_scale
+                if p2 > 0.0 and rng.random() < p2:
+                    pa, pb = _PAULI_2Q[rng.integers(len(_PAULI_2Q))]
+                    state.apply_pauli(pa, inst.qubits[0])
+                    state.apply_pauli(pb, inst.qubits[1])
+            elif gate.name == "dd":
+                p1 = self.device.qubit(inst.qubits[0]).p1
+                for _ in gate.dd_fractions:
+                    if p1 > 0.0 and rng.random() < p1:
+                        state.apply_pauli(
+                            _PAULI_1Q[rng.integers(3)], inst.qubits[0]
+                        )
+            elif gate.name not in _VIRTUAL:
+                p1 = self.device.qubit(inst.qubits[0]).p1
+                if p1 > 0.0 and rng.random() < p1:
+                    state.apply_pauli(_PAULI_1Q[rng.integers(3)], inst.qubits[0])
+
+    # -- aggregated runs -------------------------------------------------------
+
+    def expectations(
+        self, observables: Dict[str, Pauli], shots: Optional[int] = None
+    ) -> SimResult:
+        """Average ``<P>`` over trajectories for each named observable."""
+        rng = as_generator(self.options.seed)
+        count = shots or self.options.shots
+        samples: Dict[str, List[float]] = {k: [] for k in observables}
+        for _ in range(count):
+            state, _clbits = self._run_trajectory(rng)
+            for key, pauli in observables.items():
+                value = state.expectation_pauli(pauli)
+                if self.options.readout_errors:
+                    value *= self._readout_attenuation(pauli)
+                samples[key].append(value)
+        return _aggregate(samples, count)
+
+    def probabilities(
+        self, targets: Dict[str, Dict[int, int]], shots: Optional[int] = None
+    ) -> SimResult:
+        """Average probability of each named qubit->bit assignment."""
+        rng = as_generator(self.options.seed)
+        count = shots or self.options.shots
+        samples: Dict[str, List[float]] = {k: [] for k in targets}
+        for _ in range(count):
+            state, _clbits = self._run_trajectory(rng)
+            for key, bits in targets.items():
+                if self.options.readout_errors:
+                    samples[key].append(self._noisy_bit_probability(state, bits))
+                else:
+                    samples[key].append(state.probability_of_bitstring(bits))
+        return _aggregate(samples, count)
+
+    def _readout_attenuation(self, pauli: Pauli) -> float:
+        factor = 1.0
+        for q in range(pauli.num_qubits):
+            if pauli.factor(q) != "I":
+                factor *= 1.0 - 2.0 * self.device.qubit(q).readout_error
+        return factor
+
+    def _noisy_bit_probability(self, state: StateVector, bits: Dict[int, int]) -> float:
+        """Exact probability including independent assignment flips."""
+        qubits = sorted(bits)
+        total = 0.0
+        for outcome in range(1 << len(qubits)):
+            actual = {q: (outcome >> i) & 1 for i, q in enumerate(qubits)}
+            p = state.probability_of_bitstring(actual)
+            if p == 0.0:
+                continue
+            weight = 1.0
+            for q in qubits:
+                r = self.device.qubit(q).readout_error
+                weight *= (1.0 - r) if actual[q] == bits[q] else r
+            total += p * weight
+        return total
+
+
+def _apply_decay_jump(state: StateVector, qubit: int) -> None:
+    """Amplitude-damping jump: project onto |1>, then lower to |0>."""
+    idx = np.arange(state.vector.size)
+    one = ((idx >> qubit) & 1) == 1
+    amp = np.where(one, state.vector, 0.0)
+    norm = np.linalg.norm(amp)
+    lowered = np.zeros_like(state.vector)
+    lowered[idx[one] ^ (1 << qubit)] = amp[one]
+    state.vector = lowered / norm
+
+
+def _apply_no_jump(state: StateVector, qubit: int, gamma: float) -> None:
+    """No-jump Kraus ``diag(1, sqrt(1-gamma))`` with renormalization."""
+    idx = np.arange(state.vector.size)
+    one = ((idx >> qubit) & 1) == 1
+    state.vector = np.where(one, state.vector * math.sqrt(1.0 - gamma), state.vector)
+    norm = np.linalg.norm(state.vector)
+    state.vector /= norm
+
+
+def _aggregate(samples: Dict[str, List[float]], count: int) -> SimResult:
+    values = {}
+    errors = {}
+    for key, data in samples.items():
+        arr = np.asarray(data)
+        values[key] = float(arr.mean())
+        errors[key] = float(arr.std(ddof=1) / math.sqrt(len(arr))) if len(arr) > 1 else 0.0
+    return SimResult(values=values, errors=errors, shots=count)
+
+
+# ---------------------------------------------------------------------------
+# Convenience entry points
+# ---------------------------------------------------------------------------
+
+
+CircuitLike = Union[Circuit, ScheduledCircuit]
+
+
+def _as_scheduled(circuit: CircuitLike, device: Device) -> ScheduledCircuit:
+    if isinstance(circuit, ScheduledCircuit):
+        return circuit
+    return schedule(circuit, device.durations)
+
+
+def expectation_values(
+    circuit: CircuitLike,
+    device: Device,
+    observables: Dict[str, Union[str, Pauli]],
+    options: Optional[SimOptions] = None,
+) -> SimResult:
+    """Run ``circuit`` on ``device`` and return Pauli expectation values.
+
+    ``observables`` may use label strings (leftmost char = highest qubit).
+    """
+    scheduled = _as_scheduled(circuit, device)
+    paulis = {
+        k: (Pauli.from_label(v) if isinstance(v, str) else v)
+        for k, v in observables.items()
+    }
+    return Executor(scheduled, device, options).expectations(paulis)
+
+
+def bit_probabilities(
+    circuit: CircuitLike,
+    device: Device,
+    targets: Dict[str, Dict[int, int]],
+    options: Optional[SimOptions] = None,
+) -> SimResult:
+    """Run ``circuit`` and return probabilities of qubit->bit assignments."""
+    scheduled = _as_scheduled(circuit, device)
+    return Executor(scheduled, device, options).probabilities(targets)
+
+
+def average_over_realizations(
+    factory: Callable[[np.random.Generator], CircuitLike],
+    device: Device,
+    observables: Dict[str, Union[str, Pauli]],
+    realizations: int = 8,
+    options: Optional[SimOptions] = None,
+    seed: SeedLike = None,
+) -> SimResult:
+    """Average expectations over circuit realizations (e.g. twirl samples).
+
+    ``factory(rng)`` must return a fresh realization; each runs with
+    ``options.shots`` trajectories, and results are pooled.
+    """
+    options = options or SimOptions()
+    rng = as_generator(seed if seed is not None else options.seed)
+    pooled: Dict[str, List[float]] = {k: [] for k in observables}
+    total = 0
+    for _ in range(realizations):
+        circuit = factory(rng)
+        sub_seed = int(rng.integers(0, 2**63 - 1))
+        result = expectation_values(
+            circuit, device, observables, options.with_seed(sub_seed)
+        )
+        for key in observables:
+            pooled[key].append(result.values[key])
+        total += result.shots
+    values = {k: float(np.mean(v)) for k, v in pooled.items()}
+    errors = {
+        k: float(np.std(v, ddof=1) / math.sqrt(len(v))) if len(v) > 1 else 0.0
+        for k, v in pooled.items()
+    }
+    return SimResult(values=values, errors=errors, shots=total)

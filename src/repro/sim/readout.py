@@ -1,0 +1,191 @@
+"""Readout twirling and assignment-error mitigation (paper Sec. V C, Ref. [64]).
+
+Real readout errors are asymmetric (``p(1|0) != p(0|1)``). Twirling the
+readout — applying a recorded random X immediately before measurement and
+un-flipping the classical bit — averages the two error rates, turning the
+assignment channel into a symmetric depolarizing-like attenuation that a
+single scale factor inverts. The paper incorporates "a twirling layer
+before readouts, which diagonalizes the readout errors through averaging
+over systematic errors".
+
+This module provides:
+
+* :func:`sample_counts` — sampled measurement outcomes with asymmetric
+  assignment errors, optionally readout-twirled;
+* :func:`estimate_confusion` — per-qubit confusion matrices from the
+  standard all-0 / all-1 calibration circuits;
+* :func:`invert_confusion` / :func:`corrected_expectation` — tensored
+  confusion-matrix inversion of measured distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.schedule import ScheduledCircuit, schedule
+from ..device.calibration import Device, QubitParams
+from ..utils.rng import SeedLike, as_generator
+from .executor import Executor, SimOptions
+
+
+def assignment_probabilities(params: QubitParams) -> Tuple[float, float]:
+    """``(p(read 1 | true 0), p(read 0 | true 1))`` for a qubit.
+
+    The asymmetry splits the calibrated mean error ``r`` into
+    ``p01 = r (1 - a)`` and ``p10 = r (1 + a)`` — excited-state readout is
+    typically worse (relaxation during the readout pulse), so ``a > 0``.
+    """
+    r = params.readout_error
+    a = params.readout_asymmetry
+    return r * (1.0 - a), r * (1.0 + a)
+
+
+def sample_counts(
+    circuit: Circuit,
+    device: Device,
+    qubits: Sequence[int],
+    shots: int = 256,
+    options: Optional[SimOptions] = None,
+    twirl: bool = False,
+    seed: SeedLike = None,
+) -> Counter:
+    """Sampled outcomes on ``qubits`` with asymmetric assignment errors.
+
+    With ``twirl=True`` each shot applies a recorded random X frame before
+    readout and un-flips the classical outcome, symmetrizing the channel.
+    Returns a :class:`collections.Counter` of bit tuples (ordered like
+    ``qubits``).
+    """
+    options = options or SimOptions(shots=shots)
+    scheduled = (
+        circuit
+        if isinstance(circuit, ScheduledCircuit)
+        else schedule(circuit, device.durations)
+    )
+    executor = Executor(scheduled, device, options)
+    rng = as_generator(seed if seed is not None else options.seed)
+    counts: Counter = Counter()
+    for _ in range(shots):
+        state, _clbits = executor._run_trajectory(rng)
+        outcome = []
+        for q in qubits:
+            # Sequential projective collapse keeps multi-qubit correlations.
+            frame = bool(twirl and rng.random() < 0.5)
+            if frame:
+                state.apply_pauli("X", q)
+            bit = state.measure(q, rng)
+            p01, p10 = assignment_probabilities(device.qubit(q))
+            if bit == 0 and rng.random() < p01:
+                bit = 1
+            elif bit == 1 and rng.random() < p10:
+                bit = 0
+            if frame:
+                bit ^= 1
+            outcome.append(bit)
+        counts[tuple(outcome)] += 1
+    return counts
+
+
+def expectation_from_counts(counts: Counter, qubit_index: int) -> float:
+    """``<Z>`` of one measured qubit from a counts dictionary."""
+    total = sum(counts.values())
+    if total == 0:
+        raise ValueError("empty counts")
+    value = 0.0
+    for bits, n in counts.items():
+        value += n * (1.0 - 2.0 * bits[qubit_index])
+    return value / total
+
+
+@dataclass
+class ConfusionMatrices:
+    """Per-qubit 2x2 confusion matrices: ``M[read, true]``."""
+
+    matrices: Dict[int, np.ndarray]
+
+    def attenuation(self, qubit: int) -> float:
+        """Z-polarization attenuation ``1 - p01 - p10``."""
+        m = self.matrices[qubit]
+        return float(m[0, 0] - m[1, 0] + m[1, 1] - m[0, 1]) / 2.0
+
+
+def estimate_confusion(
+    device: Device,
+    qubits: Sequence[int],
+    shots: int = 512,
+    seed: SeedLike = 0,
+    options: Optional[SimOptions] = None,
+) -> ConfusionMatrices:
+    """Measure confusion matrices with all-0 / all-1 calibration circuits."""
+    options = options or SimOptions(
+        shots=shots, coherent=False, stochastic=False, dephasing=False,
+        amplitude_damping=False, gate_errors=False,
+    )
+    matrices: Dict[int, np.ndarray] = {}
+    results = {}
+    for prep in (0, 1):
+        circ = Circuit(device.num_qubits)
+        if prep == 1:
+            for q in qubits:
+                circ.x(q, new_moment=(q == qubits[0]))
+        else:
+            circ.append_moment([])
+        results[prep] = sample_counts(
+            circ, device, qubits, shots=shots, options=options, seed=seed + prep
+        )
+    for index, q in enumerate(qubits):
+        m = np.zeros((2, 2))
+        for prep in (0, 1):
+            total = sum(results[prep].values())
+            ones = sum(
+                n for bits, n in results[prep].items() if bits[index] == 1
+            )
+            m[1, prep] = ones / total
+            m[0, prep] = 1.0 - ones / total
+        matrices[q] = m
+    return ConfusionMatrices(matrices)
+
+
+def invert_confusion(
+    counts: Counter, qubits: Sequence[int], confusion: ConfusionMatrices
+) -> Dict[Tuple[int, ...], float]:
+    """Tensored confusion-matrix inversion of a measured distribution.
+
+    Returns quasi-probabilities (may be slightly negative from sampling
+    noise); they sum to 1.
+    """
+    total = sum(counts.values())
+    k = len(qubits)
+    measured = np.zeros(2**k)
+    for bits, n in counts.items():
+        index = 0
+        for i, b in enumerate(bits):
+            index |= b << i
+        measured[index] = n / total
+    full = np.array([[1.0]])
+    for q in reversed(qubits):
+        full = np.kron(confusion.matrices[q], full)
+    corrected = np.linalg.solve(full, measured)
+    out = {}
+    for index in range(2**k):
+        bits = tuple((index >> i) & 1 for i in range(k))
+        out[bits] = float(corrected[index])
+    return out
+
+
+def corrected_expectation(
+    counts: Counter,
+    qubits: Sequence[int],
+    qubit: int,
+    confusion: ConfusionMatrices,
+) -> float:
+    """Readout-corrected ``<Z_qubit>`` from measured counts."""
+    quasi = invert_confusion(counts, qubits, confusion)
+    index = list(qubits).index(qubit)
+    return sum(p * (1.0 - 2.0 * bits[index]) for bits, p in quasi.items())

@@ -1,0 +1,136 @@
+"""Dense statevector engine.
+
+Qubit 0 is the least-significant bit of the basis-state index. Gate matrices
+follow the library convention (first listed qubit = left Kronecker factor).
+Diagonal Z/ZZ phase application — the dominant operation in the coherent
+noise model — is vectorized over the full state.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..pauli.pauli import Pauli
+from .coherent import CoherentAccumulation
+
+
+@lru_cache(maxsize=32)
+def _sz_arrays(num_qubits: int) -> Tuple[np.ndarray, ...]:
+    """Per-qubit arrays of ``(+1 | -1)`` eigenvalues of Z over basis states."""
+    dim = 1 << num_qubits
+    idx = np.arange(dim)
+    return tuple(1.0 - 2.0 * ((idx >> q) & 1) for q in range(num_qubits))
+
+
+class StateVector:
+    """A mutable pure state of ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int):
+        self.num_qubits = int(num_qubits)
+        self.vector = np.zeros(1 << self.num_qubits, dtype=complex)
+        self.vector[0] = 1.0
+
+    def copy(self) -> "StateVector":
+        out = StateVector.__new__(StateVector)
+        out.num_qubits = self.num_qubits
+        out.vector = self.vector.copy()
+        return out
+
+    # -- gates ----------------------------------------------------------------
+
+    def apply_gate(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
+        """Apply a k-qubit unitary to the listed qubits."""
+        k = len(qubits)
+        n = self.num_qubits
+        axes = [n - 1 - q for q in qubits]
+        psi = self.vector.reshape([2] * n)
+        psi = np.moveaxis(psi, axes, range(k))
+        tail = psi.shape[k:]
+        psi = psi.reshape(1 << k, -1)
+        psi = np.asarray(matrix) @ psi
+        psi = psi.reshape([2] * k + list(tail))
+        psi = np.moveaxis(psi, range(k), axes)
+        self.vector = np.ascontiguousarray(psi).reshape(-1)
+
+    def apply_phases(self, acc: CoherentAccumulation) -> None:
+        """Apply accumulated ``Rz``/``Rzz`` angles as one diagonal pass."""
+        if not acc.z and not acc.zz:
+            return
+        sz = _sz_arrays(self.num_qubits)
+        exponent = np.zeros(1 << self.num_qubits)
+        for q, theta in acc.z.items():
+            exponent += (theta / 2.0) * sz[q]
+        for (a, b), theta in acc.zz.items():
+            exponent += (theta / 2.0) * sz[a] * sz[b]
+        self.vector *= np.exp(-1j * exponent)
+
+    def apply_pauli(self, label: str, qubit: int) -> None:
+        """Apply a single-qubit Pauli in place (fast path for noise)."""
+        if label == "I":
+            return
+        n = self.num_qubits
+        psi = self.vector.reshape([2] * n)
+        axis = n - 1 - qubit
+        if label == "X":
+            psi = np.flip(psi, axis=axis)
+        elif label == "Y":
+            psi = np.flip(psi, axis=axis)
+            slicer = [slice(None)] * n
+            slicer[axis] = 0
+            psi = psi.copy()
+            psi[tuple(slicer)] *= -1j
+            slicer[axis] = 1
+            psi[tuple(slicer)] *= 1j
+        elif label == "Z":
+            psi = psi.copy()
+            slicer = [slice(None)] * n
+            slicer[axis] = 1
+            psi[tuple(slicer)] *= -1
+        else:
+            raise ValueError(f"bad Pauli label {label!r}")
+        self.vector = np.ascontiguousarray(psi).reshape(-1)
+
+    # -- measurement -----------------------------------------------------------
+
+    def probability_one(self, qubit: int) -> float:
+        """Probability of measuring ``1`` on ``qubit``."""
+        mask = ((np.arange(self.vector.size) >> qubit) & 1).astype(bool)
+        return float(np.sum(np.abs(self.vector[mask]) ** 2))
+
+    def measure(self, qubit: int, rng: np.random.Generator) -> int:
+        """Projective measurement; collapses and renormalizes the state."""
+        p1 = self.probability_one(qubit)
+        outcome = 1 if rng.random() < p1 else 0
+        mask = ((np.arange(self.vector.size) >> qubit) & 1) == outcome
+        self.vector = np.where(mask, self.vector, 0.0)
+        norm = np.linalg.norm(self.vector)
+        if norm < 1e-15:
+            raise RuntimeError("measurement collapsed to zero norm")
+        self.vector /= norm
+        return outcome
+
+    # -- observables -----------------------------------------------------------
+
+    def expectation_pauli(self, pauli: Pauli) -> float:
+        """``<psi|P|psi>`` for a Pauli observable (real by construction)."""
+        if pauli.num_qubits != self.num_qubits:
+            raise ValueError("observable size mismatch")
+        work = self.copy()
+        for qubit in range(self.num_qubits):
+            work.apply_pauli(pauli.factor(qubit), qubit)
+        value = np.vdot(self.vector, work.vector) * (1j**pauli.phase)
+        return float(value.real)
+
+    def probability_of_bitstring(self, bits: Dict[int, int]) -> float:
+        """Probability that the listed qubits read the given values."""
+        idx = np.arange(self.vector.size)
+        mask = np.ones(self.vector.size, dtype=bool)
+        for qubit, value in bits.items():
+            mask &= ((idx >> qubit) & 1) == value
+        return float(np.sum(np.abs(self.vector[mask]) ** 2))
+
+    def fidelity_with(self, other: "StateVector") -> float:
+        return float(abs(np.vdot(self.vector, other.vector)) ** 2)

@@ -1,0 +1,43 @@
+"""Random-number-generator helpers.
+
+Every stochastic component of the library (noise sampling, twirl sampling,
+synthetic calibrations) accepts a ``seed`` argument that is normalized through
+:func:`as_generator` so results are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` gives a fresh nondeterministic generator, an ``int`` or
+    ``SeedSequence`` seeds a new PCG64 generator, and an existing generator is
+    passed through unchanged (so callers can share a stream).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list:
+    """Split ``rng`` into ``count`` independent child generators."""
+    seeds = rng.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed(base: Optional[int], *salt: int) -> Optional[int]:
+    """Deterministically derive a child seed from ``base`` and salt values.
+
+    Returns ``None`` when ``base`` is ``None`` so unseeded remains unseeded.
+    """
+    if base is None:
+        return None
+    mixed = np.random.SeedSequence([int(base), *[int(s) for s in salt]])
+    return int(mixed.generate_state(1)[0])

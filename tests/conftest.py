@@ -1,0 +1,64 @@
+"""Shared fixtures: small devices and fast simulator configurations."""
+
+import pytest
+
+from repro.device import linear_chain, ring, synthetic_device
+from repro.sim import SimOptions
+
+
+@pytest.fixture
+def chain2():
+    return synthetic_device(linear_chain(2), name="chain2", seed=101)
+
+
+@pytest.fixture
+def chain3():
+    return synthetic_device(linear_chain(3), name="chain3", seed=102)
+
+
+@pytest.fixture
+def chain4():
+    return synthetic_device(linear_chain(4), name="chain4", seed=103)
+
+
+@pytest.fixture
+def chain6():
+    return synthetic_device(linear_chain(6), name="chain6", seed=104)
+
+
+@pytest.fixture
+def ring6():
+    return synthetic_device(ring(6), name="ring6", seed=105)
+
+
+@pytest.fixture
+def ideal_options():
+    """No noise at all: exercises only the ideal unitaries."""
+    return SimOptions(
+        shots=1,
+        coherent=False,
+        stochastic=False,
+        dephasing=False,
+        amplitude_damping=False,
+        gate_errors=False,
+        seed=0,
+    )
+
+
+@pytest.fixture
+def coherent_options():
+    """Deterministic: static coherent errors only (single shot suffices)."""
+    return SimOptions(
+        shots=1,
+        stochastic=False,
+        dephasing=False,
+        amplitude_damping=False,
+        gate_errors=False,
+        seed=0,
+    )
+
+
+@pytest.fixture
+def noisy_options():
+    """Full noise with a modest shot count for statistical assertions."""
+    return SimOptions(shots=32, seed=7)

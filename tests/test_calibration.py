@@ -1,0 +1,109 @@
+"""Device calibration tests."""
+
+import math
+
+import pytest
+
+from repro.device import (
+    Device,
+    NoiseProfile,
+    fake_brisbane,
+    fake_nazca,
+    fake_penguino,
+    fake_sherbrooke,
+    linear_chain,
+    synthetic_device,
+)
+from repro.utils.units import KHZ
+
+
+class TestSyntheticSampling:
+    def test_reproducible_by_seed(self):
+        a = synthetic_device(linear_chain(4), seed=9)
+        b = synthetic_device(linear_chain(4), seed=9)
+        assert a.zz_rate(0, 1) == b.zz_rate(0, 1)
+        assert a.qubit(2).t1 == b.qubit(2).t1
+
+    def test_different_seeds_differ(self):
+        a = synthetic_device(linear_chain(4), seed=9)
+        b = synthetic_device(linear_chain(4), seed=10)
+        assert a.zz_rate(0, 1) != b.zz_rate(0, 1)
+
+    def test_parameters_within_profile(self):
+        profile = NoiseProfile()
+        dev = synthetic_device(linear_chain(5), seed=3, profile=profile)
+        lo, hi = profile.zz_range
+        for a, b in dev.topology.edges:
+            assert lo <= dev.zz_rate(a, b) <= hi
+
+    def test_collision_triples_enhance_nnn(self):
+        dev = synthetic_device(
+            linear_chain(3), seed=3, collision_triples=[(0, 1, 2)]
+        )
+        assert dev.zz_rate(0, 2) >= 8.0 * KHZ
+
+    def test_nnn_background(self):
+        dev = synthetic_device(linear_chain(3), seed=3, nnn_background=True)
+        assert 0.0 < dev.zz_rate(0, 2) < 1.0 * KHZ
+
+
+class TestDeviceQueries:
+    def test_zz_rate_symmetric(self):
+        dev = synthetic_device(linear_chain(3), seed=1)
+        assert dev.zz_rate(0, 1) == dev.zz_rate(1, 0)
+
+    def test_zz_rate_uncoupled_is_zero(self):
+        dev = synthetic_device(linear_chain(3), seed=1)
+        assert dev.zz_rate(0, 2) == 0.0
+
+    def test_stark_shift_directional(self):
+        dev = synthetic_device(linear_chain(2), seed=1)
+        assert dev.stark_shift(0, 1) > 0.0
+        assert dev.stark_shift(1, 0) > 0.0
+
+    def test_stark_shift_uncoupled_zero(self):
+        dev = synthetic_device(linear_chain(3), seed=1)
+        assert dev.stark_shift(0, 2) == 0.0
+
+    def test_crosstalk_edges_threshold(self):
+        dev = synthetic_device(linear_chain(3), seed=1)
+        assert dev.crosstalk_edges(threshold=1.0) == []
+        assert len(dev.crosstalk_edges()) == 2
+
+    def test_pair_error_fallback_for_routed_gate(self):
+        dev = synthetic_device(linear_chain(3), seed=1)
+        assert dev.pair_error(0, 2) > 0.0  # median fallback
+
+    def test_subdevice(self):
+        dev = synthetic_device(linear_chain(6), seed=1)
+        sub = dev.subdevice([2, 3, 4])
+        assert sub.num_qubits == 3
+        assert sub.zz_rate(0, 1) == dev.zz_rate(2, 3)
+
+    def test_ideal_is_noise_free(self):
+        dev = synthetic_device(linear_chain(3), seed=1).ideal()
+        assert dev.zz_rate(0, 1) == 0.0
+        assert dev.qubit(0).p1 == 0.0
+        assert dev.qubit(0).measure_stark == 0.0
+        assert math.isinf(dev.qubit(0).t1)
+
+    def test_with_pair_overrides(self):
+        from repro.device import PairParams
+
+        dev = synthetic_device(linear_chain(2), seed=1)
+        new = dev.with_pair_overrides({(0, 1): PairParams(zz_rate=0.0)})
+        assert new.zz_rate(0, 1) == 0.0
+        assert dev.zz_rate(0, 1) > 0.0
+
+
+class TestFakeBackends:
+    @pytest.mark.parametrize(
+        "factory", [fake_nazca, fake_brisbane, fake_sherbrooke, fake_penguino]
+    )
+    def test_eagle_scale(self, factory):
+        dev = factory()
+        assert dev.num_qubits == 129
+
+    def test_sherbrooke_has_collision(self):
+        dev = fake_sherbrooke()
+        assert dev.zz_rate(4, 6) >= 8.0 * KHZ

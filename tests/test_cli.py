@@ -1,0 +1,33 @@
+"""CLI runner tests."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig3", "fig9", "table1"):
+            assert name in out
+
+    def test_registry_covers_all_figures(self):
+        assert set(EXPERIMENTS) == {
+            "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "table1"
+        }
+
+    def test_quick_fig9(self, capsys):
+        assert main(["fig9", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "bare fidelity" in out
+        assert "peak" in out
+
+    def test_quick_table1(self, capsys):
+        assert main(["table1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Slow Z" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

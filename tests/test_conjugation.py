@@ -1,0 +1,59 @@
+"""Clifford conjugation table tests (twirling substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import gates as g
+from repro.pauli import Pauli, conjugate_through, conjugation_table, pauli_labels
+from repro.pauli.conjugation import conjugate_pauli_numeric, is_supported
+
+GATE_MATRICES = {"cx": g.CX_MAT, "cz": g.CZ_MAT, "ecr": g.ECR_MAT}
+
+
+class TestTables:
+    @pytest.mark.parametrize("name", ["cx", "cz", "ecr"])
+    def test_table_satisfies_conjugation_identity(self, name):
+        matrix = GATE_MATRICES[name]
+        for label in pauli_labels(2):
+            out_label, sign = conjugate_through(name, label)
+            p = Pauli.from_label(label).matrix()
+            q = Pauli.from_label(out_label).matrix()
+            assert np.allclose(matrix @ p @ matrix.conj().T, sign * q, atol=1e-9)
+
+    @pytest.mark.parametrize("name", ["cx", "cz", "ecr"])
+    def test_table_is_a_bijection(self, name):
+        table = conjugation_table(name)
+        images = {out for out, _s in table.values()}
+        assert images == set(pauli_labels(2))
+
+    @pytest.mark.parametrize("name", ["cx", "cz", "ecr"])
+    def test_identity_maps_to_identity(self, name):
+        assert conjugate_through(name, "II") == ("II", 1)
+
+    def test_cx_known_entries(self):
+        # CX: X on control spreads to both; Z on target spreads to both.
+        assert conjugate_through("cx", "XI") == ("XX", 1)
+        assert conjugate_through("cx", "IZ") == ("ZZ", 1)
+        assert conjugate_through("cx", "ZI") == ("ZI", 1)
+        assert conjugate_through("cx", "IX") == ("IX", 1)
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(ValueError):
+            conjugation_table("swap")
+
+    def test_is_supported(self):
+        assert is_supported("ecr")
+        assert not is_supported("can")
+
+
+class TestNumericConjugation:
+    def test_non_clifford_rejected(self):
+        t_on_pair = np.kron(g.T_MAT, np.eye(2))
+        with pytest.raises(ValueError):
+            conjugate_pauli_numeric(t_on_pair, Pauli.from_label("XI"))
+
+    def test_single_qubit_clifford(self):
+        q, s = conjugate_pauli_numeric(g.H_MAT, Pauli.from_label("Z"))
+        assert (q.label, s) == ("X", 1)
+        q, s = conjugate_pauli_numeric(g.H_MAT, Pauli.from_label("Y"))
+        assert (q.label, s) == ("Y", -1)

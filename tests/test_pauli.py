@@ -1,0 +1,94 @@
+"""Pauli algebra tests with hypothesis property checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pauli import Pauli, commutes, pauli_labels
+
+
+def pauli_strategy(num_qubits=3):
+    return st.text(alphabet="IXYZ", min_size=num_qubits, max_size=num_qubits).map(
+        Pauli.from_label
+    )
+
+
+class TestConstruction:
+    def test_label_roundtrip(self):
+        assert Pauli.from_label("XYZ").label == "XYZ"
+
+    def test_invalid_label(self):
+        with pytest.raises(ValueError):
+            Pauli.from_label("XQ")
+
+    def test_identity(self):
+        p = Pauli.identity(4)
+        assert p.label == "IIII"
+        assert p.weight == 0
+
+    def test_single(self):
+        p = Pauli.single(3, 0, "Z")
+        assert p.label == "IIZ"
+        assert p.factor(0) == "Z"
+        assert p.factor(2) == "I"
+
+    def test_weight(self):
+        assert Pauli.from_label("XIYZ").weight == 3
+
+
+class TestMultiplication:
+    @given(pauli_strategy(), pauli_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_matrix_product(self, a, b):
+        product = a * b
+        assert np.allclose(product.matrix(), a.matrix() @ b.matrix(), atol=1e-12)
+
+    @given(pauli_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_self_product_is_identity(self, p):
+        product = p * p
+        assert product.label == "I" * p.num_qubits
+        assert product.phase == 0
+
+    def test_known_phase(self):
+        assert (Pauli.from_label("X") * Pauli.from_label("Y")).phase == 1
+        assert (Pauli.from_label("Y") * Pauli.from_label("X")).phase == 3
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Pauli.from_label("X") * Pauli.from_label("XX")
+
+
+class TestCommutation:
+    @given(pauli_strategy(), pauli_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_matrix_commutator(self, a, b):
+        ma, mb = a.matrix(), b.matrix()
+        commutator_zero = np.allclose(ma @ mb - mb @ ma, 0.0, atol=1e-12)
+        assert a.commutes_with(b) == commutator_zero
+
+    @given(pauli_strategy(), pauli_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry(self, a, b):
+        assert a.commutes_with(b) == b.commutes_with(a)
+
+    def test_label_helper(self):
+        assert commutes("XX", "ZZ")
+        assert not commutes("XI", "ZI")
+
+
+class TestEnumeration:
+    def test_counts(self):
+        assert len(list(pauli_labels(2))) == 16
+        assert len(list(pauli_labels(3))) == 64
+
+    def test_identity_first(self):
+        assert next(iter(pauli_labels(3))) == "III"
+
+    def test_matrix_convention_leftmost_is_high_qubit(self):
+        p = Pauli.from_label("XI")  # X on qubit 1
+        expected = np.kron(
+            np.array([[0, 1], [1, 0]], dtype=complex), np.eye(2)
+        )
+        assert np.allclose(p.matrix(), expected)

@@ -1,0 +1,142 @@
+"""Readout twirling and mitigation tests."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.device import linear_chain, synthetic_device
+from repro.sim import (
+    SimOptions,
+    assignment_probabilities,
+    corrected_expectation,
+    estimate_confusion,
+    expectation_from_counts,
+    invert_confusion,
+    sample_counts,
+)
+
+
+@pytest.fixture
+def device():
+    base = synthetic_device(linear_chain(2), seed=95)
+    qubits = [
+        replace(
+            q, readout_error=0.08, readout_asymmetry=0.6,
+            quasistatic_sigma=0.0, parity_delta=0.0, p1=0.0,
+            t1=float("inf"), t2=float("inf"),
+        )
+        for q in base.qubits
+    ]
+    pairs = {e: replace(p, zz_rate=0.0, p2=0.0) for e, p in base.pairs.items()}
+    return replace(base, qubits=qubits, pairs=pairs)
+
+
+@pytest.fixture
+def clean_options():
+    return SimOptions(
+        shots=1, coherent=False, stochastic=False, dephasing=False,
+        amplitude_damping=False, gate_errors=False,
+    )
+
+
+class TestAssignmentModel:
+    def test_asymmetric_split(self, device):
+        p01, p10 = assignment_probabilities(device.qubit(0))
+        assert p10 > p01
+        assert (p01 + p10) / 2 == pytest.approx(0.08)
+
+    def test_symmetric_when_zero_asymmetry(self):
+        from repro.device import QubitParams
+
+        p01, p10 = assignment_probabilities(
+            QubitParams(readout_error=0.05, readout_asymmetry=0.0)
+        )
+        assert p01 == p10 == pytest.approx(0.05)
+
+
+class TestSampledCounts:
+    def test_ground_state_bias(self, device, clean_options):
+        """Without twirl, |1> reads worse than |0> (asymmetric channel)."""
+        circ0 = Circuit(2)
+        circ0.append_moment([])
+        circ1 = Circuit(2)
+        circ1.x(0)
+        shots = 3000
+        c0 = sample_counts(circ0, device, [0], shots=shots,
+                           options=clean_options, seed=1)
+        c1 = sample_counts(circ1, device, [0], shots=shots,
+                           options=clean_options, seed=2)
+        err0 = c0[(1,)] / shots
+        err1 = c1[(0,)] / shots
+        p01, p10 = assignment_probabilities(device.qubit(0))
+        assert err0 == pytest.approx(p01, abs=0.02)
+        assert err1 == pytest.approx(p10, abs=0.02)
+        assert err1 > err0
+
+    def test_twirl_symmetrizes(self, device, clean_options):
+        """Readout twirling equalizes the effective error of |0> and |1>."""
+        shots = 4000
+        circ0 = Circuit(2)
+        circ0.append_moment([])
+        circ1 = Circuit(2)
+        circ1.x(0)
+        e0 = sample_counts(circ0, device, [0], shots=shots,
+                           options=clean_options, twirl=True, seed=3)[(1,)] / shots
+        e1 = sample_counts(circ1, device, [0], shots=shots,
+                           options=clean_options, twirl=True, seed=4)[(0,)] / shots
+        mean = device.qubit(0).readout_error
+        assert e0 == pytest.approx(mean, abs=0.02)
+        assert e1 == pytest.approx(mean, abs=0.02)
+
+    def test_expectation_from_counts(self):
+        from collections import Counter
+
+        counts = Counter({(0,): 75, (1,): 25})
+        assert expectation_from_counts(counts, 0) == pytest.approx(0.5)
+
+    def test_expectation_from_empty_counts(self):
+        from collections import Counter
+
+        with pytest.raises(ValueError):
+            expectation_from_counts(Counter(), 0)
+
+
+class TestMitigation:
+    def test_confusion_estimation(self, device, clean_options):
+        confusion = estimate_confusion(device, [0, 1], shots=4000, seed=5,
+                                       options=clean_options)
+        p01, p10 = assignment_probabilities(device.qubit(0))
+        m = confusion.matrices[0]
+        assert m[1, 0] == pytest.approx(p01, abs=0.02)
+        assert m[0, 1] == pytest.approx(p10, abs=0.02)
+        assert confusion.attenuation(0) == pytest.approx(
+            1 - p01 - p10, abs=0.03
+        )
+
+    def test_inversion_recovers_plus_state(self, device, clean_options):
+        """Measured <Z> of |+> is biased by asymmetry; correction removes it."""
+        circ = Circuit(2)
+        circ.h(0)
+        counts = sample_counts(circ, device, [0], shots=6000,
+                               options=clean_options, seed=6)
+        raw = expectation_from_counts(counts, 0)
+        p01, p10 = assignment_probabilities(device.qubit(0))
+        assert raw == pytest.approx(p10 - p01, abs=0.03)  # biased away from 0
+        confusion = estimate_confusion(device, [0, 1], shots=6000, seed=7,
+                                       options=clean_options)
+        corrected = corrected_expectation(counts, [0], 0, confusion)
+        assert corrected == pytest.approx(0.0, abs=0.04)
+
+    def test_inversion_distribution_normalized(self, device, clean_options):
+        circ = Circuit(2)
+        circ.h(0)
+        circ.cx(0, 1)
+        counts = sample_counts(circ, device, [0, 1], shots=3000,
+                               options=clean_options, seed=8)
+        confusion = estimate_confusion(device, [0, 1], shots=4000, seed=9,
+                                       options=clean_options)
+        quasi = invert_confusion(counts, [0, 1], confusion)
+        assert sum(quasi.values()) == pytest.approx(1.0, abs=1e-9)
+        # Bell state: corrected distribution concentrates on 00 and 11.
+        assert quasi[(0, 0)] + quasi[(1, 1)] > 0.9

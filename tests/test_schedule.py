@@ -1,0 +1,90 @@
+"""Scheduling tests: durations, idle windows, timing arithmetic."""
+
+import pytest
+
+from repro.circuits import Circuit, Durations, gates as g, schedule
+
+
+class TestDurations:
+    def test_defaults(self):
+        d = Durations()
+        assert d.twoq == 500.0
+        assert d.measure == 4000.0
+
+    def test_virtual_gates_are_free(self):
+        circ = Circuit(1)
+        circ.rz(0.4, 0)
+        sched = schedule(circ)
+        assert sched.total_duration == 0.0
+
+    def test_delay_uses_param(self):
+        circ = Circuit(1)
+        circ.delay(777.0, 0)
+        sched = schedule(circ)
+        assert sched.total_duration == 777.0
+
+    def test_moment_duration_is_max(self):
+        circ = Circuit(3)
+        circ.h(0)
+        circ.delay(900.0, 1)
+        sched = schedule(circ)
+        assert sched[0].duration == 900.0
+
+    def test_canonical_gate_three_cnots_long(self):
+        circ = Circuit(2)
+        circ.can(0.1, 0.2, 0.3, 0, 1)
+        d = Durations()
+        sched = schedule(circ, d)
+        assert sched.total_duration == d.twoq * d.canonical_factor
+
+    def test_conditional_uses_feedforward(self):
+        circ = Circuit(2, num_clbits=1)
+        circ.measure(0, 0)
+        circ.x(1, condition=(0, 1))
+        d = Durations()
+        sched = schedule(circ, d)
+        assert sched.total_duration == d.measure + d.feedforward
+
+    def test_duration_override_wins(self):
+        circ = Circuit(1)
+        circ.append(g.dd_sequence((0.25, 0.75), duration=480.0), [0])
+        sched = schedule(circ)
+        assert sched[0].duration == 480.0
+
+
+class TestScheduledCircuit:
+    def test_start_times_accumulate(self):
+        circ = Circuit(2)
+        circ.h(0, new_moment=True)
+        circ.ecr(0, 1, new_moment=True)
+        circ.h(0, new_moment=True)
+        sched = schedule(circ)
+        starts = [sm.start for sm in sched]
+        assert starts == [0.0, 50.0, 550.0]
+        assert sched.total_duration == 600.0
+
+    def test_idle_qubits(self):
+        circ = Circuit(3)
+        circ.ecr(0, 1, new_moment=True)
+        sched = schedule(circ)
+        assert sched.idle_qubits(0) == frozenset({2})
+
+    def test_idle_windows_reports_delays_and_gaps(self):
+        circ = Circuit(2)
+        circ.delay(600.0, 0, new_moment=True)
+        sched = schedule(circ)
+        windows = sched.idle_windows(min_duration=100.0)
+        qubits = {q for _i, q, _d in windows}
+        assert qubits == {0, 1}  # the delayed qubit and the truly idle one
+
+    def test_refresh_after_edit(self):
+        circ = Circuit(1)
+        circ.h(0)
+        sched = schedule(circ)
+        total_before = sched.total_duration
+        circ.moments.append(
+            __import__("repro.circuits.circuit", fromlist=["Moment"]).Moment([])
+        )
+        circ.delay(100.0, 0, new_moment=True)
+        sched.refresh()
+        assert sched.total_duration == total_before + 100.0

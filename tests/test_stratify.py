@@ -1,0 +1,126 @@
+"""Stratification tests, including random-circuit equivalence (paper Fig. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, gates as g, stratify, validate_stratified
+from repro.circuits.stratify import layer_kind, two_qubit_layers
+from repro.utils.linalg import allclose_up_to_global_phase
+
+
+def random_circuit_strategy(num_qubits=3, max_ops=12):
+    """Random sequences of 1q/2q gate picks, as (kind, qubit(s), angle)."""
+    op = st.tuples(
+        st.sampled_from(["h", "x", "rz", "sx", "cx", "ecr"]),
+        st.integers(0, num_qubits - 1),
+        st.integers(0, num_qubits - 1),
+        st.floats(-3.0, 3.0, allow_nan=False),
+    )
+    return st.lists(op, min_size=1, max_size=max_ops)
+
+
+def build(ops, num_qubits=3):
+    circ = Circuit(num_qubits)
+    for kind, q1, q2, angle in ops:
+        if kind in ("cx", "ecr"):
+            if q1 == q2:
+                continue
+            getattr(circ, kind)(q1, q2)
+        elif kind == "rz":
+            circ.rz(angle, q1)
+        else:
+            getattr(circ, kind)(q1)
+    return circ
+
+
+class TestStratifyEquivalence:
+    @given(random_circuit_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_unitary_preserved(self, ops):
+        circ = build(ops)
+        strat = stratify(circ)
+        assert allclose_up_to_global_phase(
+            strat.unitary(), circ.unitary(), atol=1e-7
+        )
+
+    @given(random_circuit_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_output_is_stratified(self, ops):
+        strat = stratify(build(ops))
+        validate_stratified(strat)
+
+    @given(random_circuit_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_2q_layers_surrounded_by_1q_layers(self, ops):
+        strat = stratify(build(ops))
+        kinds = [layer_kind(m) for m in strat.moments]
+        for i, kind in enumerate(kinds):
+            if kind == "2q":
+                assert i > 0 and kinds[i - 1] == "1q"
+                assert i + 1 < len(kinds) and kinds[i + 1] == "1q"
+
+
+class TestStratifyStructure:
+    def test_fuses_1q_runs(self):
+        circ = Circuit(2)
+        circ.h(0)
+        circ.s(0)
+        circ.x(0)
+        strat = stratify(circ)
+        assert strat.count_gates(name="u") == 1
+
+    def test_parallel_2q_gates_share_layer(self):
+        circ = Circuit(4)
+        circ.cx(0, 1)
+        circ.cx(2, 3)
+        strat = stratify(circ)
+        assert len(two_qubit_layers(strat)) == 1
+
+    def test_sequential_2q_on_same_qubit_split(self):
+        circ = Circuit(3)
+        circ.cx(0, 1)
+        circ.cx(1, 2)
+        strat = stratify(circ)
+        assert len(two_qubit_layers(strat)) == 2
+
+    def test_measure_is_barrier(self):
+        circ = Circuit(2, num_clbits=1)
+        circ.h(0)
+        circ.measure(0, 0)
+        circ.h(0)
+        strat = stratify(circ)
+        kinds = [layer_kind(m) for m in strat.moments]
+        assert "measure" in kinds
+
+    def test_delay_passthrough(self):
+        circ = Circuit(1)
+        circ.delay(500.0, 0)
+        strat = stratify(circ)
+        assert any(i.gate.is_delay for i in strat.instructions())
+
+    def test_identity_fused_away(self):
+        circ = Circuit(1)
+        circ.h(0)
+        circ.h(0)
+        strat = stratify(circ)
+        assert strat.count_gates(name="u") == 0
+
+    def test_three_qubit_gate_rejected(self):
+        circ = Circuit(3)
+        bad = g.Gate("ccx", 3, matrix=np.eye(8))
+        circ.append(bad, [0, 1, 2])
+        with pytest.raises(ValueError):
+            stratify(circ)
+
+    def test_validate_rejects_mixed_moment(self):
+        circ = Circuit(3)
+        circ.cx(0, 1)
+        circ.moments[0].add(
+            __import__("repro.circuits.circuit", fromlist=["Instruction"]).Instruction(
+                g.H, (2,)
+            )
+        )
+        with pytest.raises(ValueError):
+            validate_stratified(circ)

@@ -1,0 +1,72 @@
+"""Topology tests: chains, rings, heavy-hex."""
+
+import pytest
+
+from repro.device import Topology, eagle, heavy_hex, linear_chain, ring
+
+
+class TestBasics:
+    def test_chain(self):
+        t = linear_chain(5)
+        assert t.num_qubits == 5
+        assert t.edges == [(0, 1), (1, 2), (2, 3), (3, 4)]
+        assert t.neighbors(2) == [1, 3]
+        assert t.degree(0) == 1
+
+    def test_ring(self):
+        t = ring(6)
+        assert len(t.edges) == 6
+        assert t.has_edge(0, 5)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(2, [(0, 0)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(2, [(0, 5)])
+
+
+class TestHeavyHex:
+    def test_eagle_size(self):
+        t = eagle()
+        assert t.num_qubits == 129  # 7 rows x 15 + 24 bridges
+        # Row qubits have degree <= 3 (heavy-hex property).
+        assert max(t.degree(q) for q in range(t.num_qubits)) <= 3
+
+    def test_bridge_qubits_have_degree_two(self):
+        t = heavy_hex(rows=3, row_length=7)
+        row_qubit_count = 3 * 7
+        for bridge in range(row_qubit_count, t.num_qubits):
+            assert t.degree(bridge) == 2
+
+    def test_rows_are_chains(self):
+        t = heavy_hex(rows=2, row_length=5)
+        for c in range(4):
+            assert t.has_edge(c, c + 1)
+            assert t.has_edge(5 + c, 5 + c + 1)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            heavy_hex(rows=0)
+
+
+class TestDerivedStructure:
+    def test_next_nearest_pairs_chain(self):
+        t = linear_chain(4)
+        triples = t.next_nearest_pairs()
+        assert (0, 1, 2) in triples
+        assert (1, 2, 3) in triples
+        assert len(triples) == 2
+
+    def test_subtopology_relabeling(self):
+        t = linear_chain(6)
+        sub, mapping = t.subtopology([2, 3, 4])
+        assert sub.num_qubits == 3
+        assert sub.edges == [(0, 1), (1, 2)]
+        assert mapping == {2: 0, 3: 1, 4: 2}
+
+    def test_subtopology_drops_external_edges(self):
+        t = ring(6)
+        sub, _ = t.subtopology([0, 2, 4])
+        assert sub.edges == []

@@ -1,0 +1,92 @@
+"""Walsh-Hadamard DD sequence tests (paper Fig. 5b)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.walsh import (
+    max_sequency,
+    orthogonal,
+    pulse_count,
+    walsh_fractions,
+    walsh_signs,
+)
+from repro.sim.timeline import pair_sign_integral, sign_integral
+
+
+class TestSigns:
+    def test_sequency_counts_sign_changes(self):
+        for k in range(8):
+            signs = walsh_signs(k)
+            changes = sum(
+                1 for i in range(1, len(signs)) if signs[i] != signs[i - 1]
+            )
+            assert changes == k
+
+    def test_row_zero_all_plus(self):
+        assert set(walsh_signs(0)) == {1}
+
+    def test_rows_orthogonal(self):
+        for a, b in itertools.combinations(range(8), 2):
+            assert orthogonal(a, b)
+            assert np.dot(walsh_signs(a), walsh_signs(b)) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            walsh_signs(8, bins=8)
+        with pytest.raises(ValueError):
+            walsh_signs(1, bins=6)
+
+    def test_larger_bins(self):
+        signs = walsh_signs(3, bins=16)
+        changes = sum(
+            1 for i in range(1, 16) if signs[i] != signs[i - 1]
+        )
+        assert changes == 3
+
+
+class TestFractions:
+    def test_even_pulse_counts(self):
+        """Sequences always end in the identity frame (even pulse count)."""
+        for k in range(8):
+            assert len(walsh_fractions(k)) % 2 == 0
+
+    def test_pulse_count_monotone_in_blocks(self):
+        counts = [pulse_count(k) for k in range(8)]
+        assert counts == sorted(counts)
+
+    def test_zero_integral_for_nonzero_sequency(self):
+        for k in range(1, 8):
+            assert sign_integral(walsh_fractions(k)) == pytest.approx(0.0)
+
+    def test_pairwise_zz_refocusing(self):
+        """Any two distinct colors mutually refocus ZZ (paper Fig. 5b)."""
+        for a, b in itertools.combinations(range(8), 2):
+            assert pair_sign_integral(
+                walsh_fractions(a), walsh_fractions(b)
+            ) == pytest.approx(0.0)
+
+    def test_color1_matches_control_echo(self):
+        assert pair_sign_integral(walsh_fractions(1), (0.5,)) == pytest.approx(1.0)
+
+    def test_color2_matches_target_rotary(self):
+        assert pair_sign_integral(
+            walsh_fractions(2), (0.25, 0.75)
+        ) == pytest.approx(1.0)
+
+    def test_max_sequency(self):
+        assert max_sequency() == 7
+        assert max_sequency(16) == 15
+
+
+@given(st.integers(1, 7), st.integers(1, 7))
+@settings(max_examples=30, deadline=None)
+def test_same_color_never_refocuses(a, b):
+    value = pair_sign_integral(walsh_fractions(a), walsh_fractions(b))
+    if a == b:
+        assert value == pytest.approx(1.0)
+    else:
+        assert value == pytest.approx(0.0)

@@ -1,0 +1,119 @@
+"""Weyl/Cartan decomposition tests (paper eq. 5 / Fig. 1d)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import _embed
+from repro.circuits.weyl import (
+    absorb_rzz_after,
+    absorb_rzz_before,
+    canonical_params,
+    cnot_synthesis,
+    compensate_rzz,
+    heisenberg_params,
+    is_canonical,
+)
+from repro.utils.linalg import allclose_up_to_global_phase
+
+angles = st.floats(min_value=-1.3, max_value=1.3, allow_nan=False)
+
+
+class TestCanonicalParams:
+    @given(angles, angles, angles)
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, a, b, c):
+        matrix = g.canonical_matrix(a, b, c)
+        a2, b2, c2 = canonical_params(matrix)
+        assert allclose_up_to_global_phase(
+            g.canonical_matrix(a2, b2, c2), matrix, atol=1e-6
+        )
+
+    def test_identity_params(self):
+        a, b, c = canonical_params(np.eye(4))
+        assert (a, b, c) == pytest.approx((0.0, 0.0, 0.0), abs=1e-9)
+
+    def test_rejects_non_canonical(self):
+        with pytest.raises(ValueError):
+            canonical_params(g.CX_MAT)
+
+    def test_is_canonical_predicate(self):
+        assert is_canonical(g.canonical_matrix(0.3, 0.2, 0.1))
+        assert not is_canonical(g.ECR_MAT @ np.kron(g.H_MAT, np.eye(2)))
+
+
+class TestAbsorption:
+    @given(angles, angles, angles, st.floats(-2.0, 2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_absorb_before_matches_matrix_product(self, a, b, c, theta):
+        absorbed = absorb_rzz_before((a, b, c), theta)
+        expected = g.canonical_matrix(a, b, c) @ g.rzz_matrix(theta)
+        assert allclose_up_to_global_phase(
+            g.canonical_matrix(*absorbed), expected, atol=1e-7
+        )
+
+    @given(angles, angles, angles, st.floats(-2.0, 2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_absorb_after_matches_matrix_product(self, a, b, c, theta):
+        absorbed = absorb_rzz_after((a, b, c), theta)
+        expected = g.rzz_matrix(theta) @ g.canonical_matrix(a, b, c)
+        assert allclose_up_to_global_phase(
+            g.canonical_matrix(*absorbed), expected, atol=1e-7
+        )
+
+    def test_compensation_cancels_error(self):
+        params = (0.4, 0.3, 0.2)
+        theta = 0.55
+        fixed = compensate_rzz(params, theta)
+        total = g.canonical_matrix(*fixed) @ g.rzz_matrix(theta)
+        assert allclose_up_to_global_phase(
+            total, g.canonical_matrix(*params), atol=1e-7
+        )
+
+
+class TestHeisenbergParams:
+    def test_isotropic(self):
+        a, b, c = heisenberg_params(1.0, 1.0, 1.0, 0.6)
+        assert a == b == c == pytest.approx(0.3)
+
+    def test_step_unitary_matches_exponential(self):
+        from scipy.linalg import expm
+
+        j, dt = 0.8, 0.5
+        a, b, c = heisenberg_params(j, j, j, dt)
+        xx = np.kron(g.X_MAT, g.X_MAT)
+        yy = np.kron(g.Y_MAT, g.Y_MAT)
+        zz = np.kron(g.Z_MAT, g.Z_MAT)
+        target = expm(1j * (j * dt / 2) * (xx + yy + zz))
+        assert allclose_up_to_global_phase(
+            g.canonical_matrix(a, b, c), target, atol=1e-9
+        )
+
+
+class TestCnotSynthesis:
+    @given(angles, angles, angles)
+    @settings(max_examples=30, deadline=None)
+    def test_three_cnot_circuit_equivalent(self, a, b, c):
+        circuit = cnot_synthesis(a, b, c)
+        target = _embed(g.canonical_matrix(a, b, c), (0, 1), 2)
+        assert allclose_up_to_global_phase(circuit.unitary(), target, atol=1e-6)
+
+    def test_uses_exactly_three_cnots(self):
+        circuit = cnot_synthesis(0.3, 0.2, 0.1)
+        assert circuit.count_gates(name="cx") == 3
+
+    def test_paper_quoted_angles_present(self):
+        """Fig. 1d: Ry(pi/2 - 2a) and Ry(2b - pi/2) on the second qubit."""
+        a, b, c = 0.31, 0.17, 0.52
+        circuit = cnot_synthesis(a, b, c)
+        ry_params = [
+            inst.gate.params[0]
+            for inst in circuit.instructions()
+            if inst.gate.name == "ry"
+        ]
+        assert math.pi / 2 - 2 * a in [pytest.approx(p) for p in ry_params]
+        assert 2 * b - math.pi / 2 in [pytest.approx(p) for p in ry_params]
