@@ -13,7 +13,8 @@ from repro.benchmarking import characterize_device, measure_zz_rate
 from repro.circuits import Circuit, draw
 from repro.compiler import apply_ca_ec
 from repro.device import linear_chain, synthetic_device
-from repro.sim import SimOptions, expectation_values
+from repro.runtime import Task, run
+from repro.sim import SimOptions
 
 device = synthetic_device(linear_chain(3), name="lab_device", seed=71)
 quiet = SimOptions(
@@ -52,17 +53,21 @@ clean = SimOptions(
     gate_errors=False, seed=0,
 )
 obs = {"<X0>": "IIX", "<X1>": "IXI"}
-ideal = expectation_values(circuit, device.ideal(), obs, clean)
-bare = expectation_values(circuit, device, obs, clean)
-with_oracle = expectation_values(oracle, device, obs, clean)
-with_measured = expectation_values(measured_comp, device, obs, clean)
+# One batched run; the ideal reference rides along on its own device.
+batch = run(
+    [
+        Task(circuit, observables=obs, device=device.ideal(), name="ideal"),
+        Task(circuit, observables=obs, name="bare"),
+        Task(oracle, observables=obs, name="CA-EC (oracle)"),
+        Task(measured_comp, observables=obs, name="CA-EC (measured)"),
+    ],
+    device,
+    options=clean,
+)
 
 print("\n                ", "  ".join(obs))
-for name, res in (
-    ("ideal", ideal), ("bare", bare),
-    ("CA-EC (oracle)", with_oracle), ("CA-EC (measured)", with_measured),
-):
-    print(f"{name:>18s}:", "  ".join(f"{res[k]:+.4f}" for k in obs))
+for res in batch:
+    print(f"{res.name:>18s}:", "  ".join(f"{res[k]:+.4f}" for k in obs))
 
 print(
     "\nThe measured-calibration compilation matches the oracle to the"

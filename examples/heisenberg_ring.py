@@ -3,7 +3,8 @@
 Simulates <Z2> dynamics of a 12-spin Heisenberg ring (3 canonical-gate
 layers per Trotter step on the heavy-hex embedding) and estimates how much
 error-mitigation sampling overhead each suppression strategy saves via the
-global depolarizing model.
+global depolarizing model. All strategy curves execute as one batched,
+multi-threaded runtime call.
 
 Run:  python examples/heisenberg_ring.py
 """
@@ -16,12 +17,13 @@ from repro.apps import (
     site_z_label,
 )
 from repro.benchmarking import fit_global_depolarizing
-from repro.compiler import realization_factory
-from repro.sim import SimOptions, average_over_realizations, expectation_values
+from repro.runtime import Task, run
+from repro.sim import SimOptions
 
 NUM_QUBITS = 12
 STEPS = [0, 1, 2, 3, 4]
 SITE = 2
+STRATEGIES = ("none", "dd", "ca_dd", "ca_ec")
 
 device = heisenberg_device(NUM_QUBITS, seed=31)
 observable = {"z": site_z_label(NUM_QUBITS, SITE)}
@@ -34,26 +36,38 @@ ideal_options = SimOptions(
     shots=1, coherent=False, stochastic=False, dephasing=False,
     amplitude_damping=False, gate_errors=False, seed=0,
 )
-ideal = [
-    expectation_values(
-        heisenberg_circuit(NUM_QUBITS, d), device.ideal(), observable, ideal_options
-    )["z"]
-    for d in STEPS
-]
+ideal_batch = run(
+    [
+        Task(heisenberg_circuit(NUM_QUBITS, d), observables=observable)
+        for d in STEPS
+    ],
+    device.ideal(),
+    options=ideal_options,
+)
+ideal = [point["z"] for point in ideal_batch]
 print("ideal <Z2>:", [round(v, 3) for v in ideal])
 
-options = SimOptions(shots=12)
-fits = {}
-for strategy in ("none", "dd", "ca_dd", "ca_ec"):
-    curve = []
-    for depth in STEPS:
-        circuit = heisenberg_circuit(NUM_QUBITS, depth)
-        factory = realization_factory(circuit, device, strategy)
-        result = average_over_realizations(
-            factory, device, observable,
-            realizations=6, options=options, seed=200 + depth,
+batch = run(
+    [
+        Task(
+            heisenberg_circuit(NUM_QUBITS, depth),
+            observables=observable,
+            pipeline=strategy,
+            realizations=6,
+            seed=200 + depth,
+            name=f"{strategy}/d{depth}",
         )
-        curve.append(result["z"])
+        for strategy in STRATEGIES
+        for depth in STEPS
+    ],
+    device,
+    options=SimOptions(shots=12),
+    workers=4,
+)
+
+fits = {}
+for strategy in STRATEGIES:
+    curve = [batch[f"{strategy}/d{d}"]["z"] for d in STEPS]
     fits[strategy] = fit_global_depolarizing(STEPS, curve, ideal)
     print(f"{strategy:>8s} <Z2>:", [round(v, 3) for v in curve])
 

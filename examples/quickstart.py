@@ -2,18 +2,23 @@
 
 Builds a 4-qubit circuit with two entangling layers (leaving idle neighbors
 each time — the context that breeds correlated ZZ errors), then compares
-the uncompensated result against each compilation strategy from the paper.
+the uncompensated result against each compilation strategy from the paper
+using the batched runtime: one ``run()`` call executes every strategy,
+fanned out across worker threads, with seed-for-seed deterministic results.
 
 Run:  python examples/quickstart.py
 """
 
 from repro import (
+    CADD,
+    CAEC,
     Circuit,
+    Pipeline,
     SimOptions,
-    average_over_realizations,
-    expectation_values,
+    Task,
+    Twirl,
     linear_chain,
-    realization_factory,
+    run,
     synthetic_device,
 )
 
@@ -34,27 +39,44 @@ for _ in range(2):
 observables = {"<X2>": "IXII", "<X3>": "XIII"}
 
 # --- 3. the noiseless reference ---------------------------------------------
-ideal = expectation_values(
-    circuit,
-    device.ideal(),
-    observables,
-    SimOptions(
+ideal = run(
+    Task(circuit, observables=observables, device=device.ideal()),
+    options=SimOptions(
         shots=1, coherent=False, stochastic=False, dephasing=False,
         amplitude_damping=False, gate_errors=False, seed=0,
     ),
-)
-print("\nideal:", {k: round(v, 4) for k, v in ideal.values.items()})
+).results[0]
+print("\nideal:", {k: round(v, 4) for k, v in ideal.items()})
 
-# --- 4. compare suppression strategies --------------------------------------
-options = SimOptions(shots=32)
-for strategy in ("none", "dd", "staggered_dd", "ca_dd", "ca_ec", "ca_ec+dd"):
-    factory = realization_factory(circuit, device, strategy)
-    result = average_over_realizations(
-        factory, device, observables, realizations=10, options=options, seed=1
-    )
+# --- 4. compare suppression strategies in ONE batched, parallel run ---------
+strategies = ("none", "dd", "staggered_dd", "ca_dd", "ca_ec", "ca_ec+dd")
+batch = run(
+    [
+        Task(circuit, observables=observables, pipeline=strategy,
+             realizations=10, seed=1, name=strategy)
+        for strategy in strategies
+    ],
+    device,
+    options=SimOptions(shots=32),
+    workers=4,
+)
+for strategy in strategies:
+    result = batch[strategy]
     error = sum(abs(result[k] - ideal[k]) for k in observables)
-    values = {k: round(v, 4) for k, v in result.values.items()}
+    values = {k: round(v, 4) for k, v in result.items()}
     print(f"{strategy:>14s}: {values}   total |error| = {error:.4f}")
+print(f"\n{batch!r}")
+
+# --- 5. custom pipelines compose passes directly ----------------------------
+custom = Pipeline([Twirl(), CADD(), CAEC()], name="custom")
+result = run(
+    Task(circuit, observables=observables, pipeline=custom,
+         realizations=10, seed=1),
+    device,
+    options=SimOptions(shots=32),
+).results[0]
+print(f"\ncustom {custom.name} pipeline:",
+      {k: round(v, 4) for k, v in result.items()})
 
 print(
     "\nExpected ordering: none > dd > staggered_dd >= ca_dd >= ca_ec;"

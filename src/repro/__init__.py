@@ -4,17 +4,40 @@ A from-scratch reproduction of "Suppressing Correlated Noise in Quantum
 Computers via Context-Aware Compiling" (Seif et al., ISCA 2024,
 arXiv:2403.06852): circuit IR, device models, a sign-trajectory noise
 simulator, the CA-DD and CA-EC compiler passes, benchmarking protocols, and
-the paper's application studies.
+the paper's application studies — all driven through a unified runtime with
+composable pass pipelines, pluggable backends, and a batched ``run()``
+entry point.
 
 Quickstart::
 
-    from repro import Circuit, fake_nazca, compile_circuit, expectation_values
+    from repro import Circuit, Task, fake_nazca, run
 
     device = fake_nazca().subdevice(range(4))
     circuit = Circuit(4)
     ...
-    compiled = compile_circuit(circuit, device, "ca_ec", seed=0)
-    result = expectation_values(compiled, device, {"z0": "IIIZ"})
+    batch = run(
+        [
+            Task(circuit, observables={"z0": "IIIZ"}, pipeline="ca_ec+dd",
+                 realizations=8, seed=0),
+            Task(circuit, observables={"z0": "IIIZ"}, pipeline="none",
+                 realizations=8, seed=0),
+        ],
+        device,
+        backend="trajectory",   # or "density" for exact small systems
+        workers=4,              # parallel, but seed-for-seed deterministic
+    )
+    suppressed, baseline = batch[0]["z0"], batch[1]["z0"]
+
+Custom pipelines compose passes directly::
+
+    from repro import CADD, CAEC, Orient, Pipeline, Twirl
+
+    pipeline = Pipeline([Orient(), Twirl(), CADD(), CAEC()])
+    compiled = pipeline.compile(circuit, device, seed=0)
+
+The pre-1.1 helpers (``compile_circuit``, ``expectation_values``,
+``bit_probabilities``, ``average_over_realizations``) remain as thin
+deprecated wrappers over the runtime.
 """
 
 from .circuits import (
@@ -52,6 +75,26 @@ from .device import (
     synthetic_device,
 )
 from .pauli import Pauli, apply_twirl
+from .runtime import (
+    BACKENDS,
+    CADD,
+    CAEC,
+    AlignedDD,
+    Backend,
+    BatchResult,
+    Orient,
+    Pass,
+    PassContext,
+    Pipeline,
+    StaggeredDD,
+    Task,
+    TaskResult,
+    Twirl,
+    get_backend,
+    pipeline_for,
+    register_backend,
+    run,
+)
 from .sim import (
     SimOptions,
     SimResult,
@@ -62,7 +105,7 @@ from .sim import (
     expectation_values,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Circuit",
@@ -95,6 +138,24 @@ __all__ = [
     "synthetic_device",
     "Pauli",
     "apply_twirl",
+    "BACKENDS",
+    "Backend",
+    "BatchResult",
+    "Pass",
+    "PassContext",
+    "Pipeline",
+    "Task",
+    "TaskResult",
+    "Orient",
+    "Twirl",
+    "AlignedDD",
+    "StaggeredDD",
+    "CADD",
+    "CAEC",
+    "get_backend",
+    "pipeline_for",
+    "register_backend",
+    "run",
     "SimOptions",
     "SimResult",
     "average_over_realizations",

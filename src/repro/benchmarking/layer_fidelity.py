@@ -27,10 +27,10 @@ import numpy as np
 
 from ..circuits import gates as g
 from ..circuits.circuit import Circuit, Instruction, Moment
-from ..compiler.strategies import compile_circuit, get_strategy
 from ..device.calibration import Device
 from ..pauli.pauli import Pauli
-from ..sim.executor import SimOptions, expectation_values
+from ..runtime import Task, pipeline_for, run
+from ..sim.executor import SimOptions
 from ..utils.fitting import fit_exponential_decay
 from ..utils.rng import SeedLike, as_generator
 
@@ -148,39 +148,49 @@ def measure_layer_fidelity(
     samples: int = 6,
     options: Optional[SimOptions] = None,
     seed: SeedLike = 0,
+    backend="trajectory",
+    workers: Optional[int] = None,
 ) -> LayerFidelityResult:
     """Run the layer-fidelity protocol for one strategy.
 
     ``depths`` count layer *pairs* (each depth applies the layer ``2 d``
     times). The per-partition decay rate is normalized per single layer
     application: ``lambda_layer = rate ** (1 / 2)``.
+
+    Every ``(depth, sample)`` circuit is compiled sequentially (preserving
+    the RNG draw order) and the seeded simulations execute as one batched
+    runtime call, so ``workers`` only changes wall time.
     """
     rng = as_generator(seed)
     options = options or SimOptions(shots=24)
+    pipeline = pipeline_for(strategy)
     partitions = partition_layer(spec, device)
     polarizations: Dict[Tuple[int, ...], Dict[int, List[float]]] = {
         p: {d: [] for d in depths} for p in partitions
     }
+    observables = {}
+    for part in partitions:
+        label = ["I"] * spec.num_qubits
+        for q in part:
+            label[spec.num_qubits - 1 - q] = "Z"
+        observables[str(part)] = Pauli.from_label("".join(label))
 
+    tasks = []
+    task_depths = []
     for depth in depths:
         for _ in range(samples):
             bases = [
                 "XYZ"[rng.integers(3)] for _ in range(spec.num_qubits)
             ]
             circuit = _survival_circuit(spec, bases, depth)
-            compiled = compile_circuit(circuit, device, strategy, seed=rng)
-            observables = {}
-            for part in partitions:
-                label = ["I"] * spec.num_qubits
-                for q in part:
-                    label[spec.num_qubits - 1 - q] = "Z"
-                observables[str(part)] = Pauli.from_label("".join(label))
+            compiled = pipeline.compile(circuit, device, seed=rng)
             sub_seed = int(rng.integers(0, 2**63 - 1))
-            result = expectation_values(
-                compiled, device, observables, options.with_seed(sub_seed)
-            )
-            for part in partitions:
-                polarizations[part][depth].append(result.values[str(part)])
+            tasks.append(Task(compiled, observables=observables, seed=sub_seed))
+            task_depths.append(depth)
+    batch = run(tasks, device, options=options, backend=backend, workers=workers)
+    for depth, result in zip(task_depths, batch):
+        for part in partitions:
+            polarizations[part][depth].append(result.values[str(part)])
 
     rates: Dict[Tuple[int, ...], float] = {}
     curves: Dict[Tuple[int, ...], List[float]] = {}

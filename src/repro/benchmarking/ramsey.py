@@ -21,13 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from ..circuits.circuit import Circuit
-from ..compiler.strategies import get_strategy, realization_factory
+from ..compiler.strategies import get_strategy
 from ..device.calibration import Device
-from ..sim.executor import SimOptions, bit_probabilities
-from ..utils.rng import SeedLike, as_generator
+from ..runtime import Task, pipeline_for, run
+from ..sim.executor import SimOptions
+from ..utils.rng import SeedLike
 
 
 @dataclass(frozen=True)
@@ -107,6 +106,39 @@ def case_device(case: RamseyCase, base: Device, origin: int = 0) -> Device:
     return base.subdevice(qubits, name=f"{base.name}/{case.name}")
 
 
+def ramsey_task(
+    case: RamseyCase,
+    device: Device,
+    depth: int,
+    strategy="none",
+    tau: float = 500.0,
+    twirl: bool = False,
+    realizations: int = 1,
+    seed: SeedLike = 0,
+) -> Task:
+    """The runtime :class:`Task` for one Ramsey point.
+
+    Collect tasks across cases, strategies, and depths and hand them to one
+    batched :func:`repro.runtime.run` call — every point is independently
+    seeded, so batching (and ``workers>1``) leaves the values untouched.
+    """
+    from dataclasses import replace
+
+    strategy = get_strategy(strategy)
+    if not twirl:
+        strategy = replace(strategy, twirl=False)
+        realizations = 1  # compilation is deterministic without twirling
+    return Task(
+        build_case_circuit(case, depth, tau),
+        bit_targets={"f": {q: 0 for q in case.probes}},
+        pipeline=pipeline_for(strategy),
+        realizations=max(realizations, 1),
+        seed=seed,
+        device=device,
+        name=f"{case.name}/{strategy.name}/d{depth}",
+    )
+
+
 def ramsey_fidelity(
     case: RamseyCase,
     device: Device,
@@ -117,29 +149,17 @@ def ramsey_fidelity(
     realizations: int = 1,
     options: Optional[SimOptions] = None,
     seed: SeedLike = 0,
+    backend="trajectory",
+    workers: Optional[int] = None,
 ) -> float:
     """Average probability that all probe qubits return to ``|0>``."""
-    from dataclasses import replace
-
-    from ..compiler.strategies import compile_circuit
-
-    strategy = get_strategy(strategy)
-    if not twirl:
-        strategy = replace(strategy, twirl=False)
-        realizations = 1  # compilation is deterministic without twirling
-    circuit = build_case_circuit(case, depth, tau)
     options = options or SimOptions(shots=64)
-    rng = as_generator(seed)
-    target = {q: 0 for q in case.probes}
-    values = []
-    for _ in range(max(realizations, 1)):
-        compiled = compile_circuit(circuit, device, strategy, seed=rng)
-        sub_seed = int(rng.integers(0, 2**63 - 1))
-        result = bit_probabilities(
-            compiled, device, {"f": target}, options.with_seed(sub_seed)
-        )
-        values.append(result.values["f"])
-    return float(np.mean(values))
+    task = ramsey_task(
+        case, device, depth, strategy,
+        tau=tau, twirl=twirl, realizations=realizations, seed=seed,
+    )
+    batch = run(task, options=options, backend=backend, workers=workers)
+    return float(batch.results[0].values["f"])
 
 
 def ramsey_curve(
@@ -152,19 +172,17 @@ def ramsey_curve(
     realizations: int = 1,
     options: Optional[SimOptions] = None,
     seed: SeedLike = 0,
+    backend="trajectory",
+    workers: Optional[int] = None,
 ) -> List[float]:
-    """Ramsey fidelity versus depth for one strategy."""
-    return [
-        ramsey_fidelity(
-            case,
-            device,
-            d,
-            strategy,
-            tau=tau,
-            twirl=twirl,
-            realizations=realizations,
-            options=options,
-            seed=seed,
+    """Ramsey fidelity versus depth for one strategy, as one batched run."""
+    options = options or SimOptions(shots=64)
+    tasks = [
+        ramsey_task(
+            case, device, d, strategy,
+            tau=tau, twirl=twirl, realizations=realizations, seed=seed,
         )
         for d in depths
     ]
+    batch = run(tasks, options=options, backend=backend, workers=workers)
+    return [float(result.values["f"]) for result in batch]

@@ -17,7 +17,8 @@ import numpy as np
 
 from ..circuits.circuit import Circuit
 from ..device.calibration import Device
-from ..sim.executor import SimOptions, expectation_values
+from ..runtime import Task, run
+from ..sim.executor import SimOptions
 from ..utils.fitting import dominant_frequency
 from ..utils.units import TWO_PI
 
@@ -61,23 +62,29 @@ def ramsey_fringe(
     drive_neighbor: Optional[int] = None,
     options: Optional[SimOptions] = None,
 ) -> List[float]:
-    """``<Z_probe>`` after a Ramsey sequence, for each idle time."""
+    """``<Z_probe>`` after a Ramsey sequence, for each idle time.
+
+    The whole time sweep executes as one batched runtime call.
+    """
     options = options or SimOptions(shots=200, seed=7)
     label = ["I"] * device.num_qubits
     label[device.num_qubits - 1 - probe] = "Z"
     observable = {"z": "".join(label)}
-    signal = []
-    for t in times:
-        circ = _ramsey_idle_circuit(
-            device.num_qubits,
-            probe,
-            t,
-            applied_frequency=applied_frequency,
-            drive_neighbor=drive_neighbor,
+    tasks = [
+        Task(
+            _ramsey_idle_circuit(
+                device.num_qubits,
+                probe,
+                t,
+                applied_frequency=applied_frequency,
+                drive_neighbor=drive_neighbor,
+            ),
+            observables=observable,
         )
-        result = expectation_values(circ, device, observable, options)
-        signal.append(result.values["z"])
-    return signal
+        for t in times
+    ]
+    batch = run(tasks, device, options=options)
+    return [result.values["z"] for result in batch]
 
 
 @dataclass

@@ -31,12 +31,8 @@ import numpy as np
 from ..circuits.circuit import Circuit
 from ..circuits.schedule import Durations
 from ..device.calibration import Device
-from ..pauli.twirling import apply_twirl
-from ..utils.rng import SeedLike, as_generator
-from .ca_dd import apply_ca_dd
-from .ca_ec import apply_ca_ec
-from .dd import DEFAULT_MIN_DURATION, apply_aligned_dd, apply_staggered_dd
-from .orientation import apply_orientation
+from ..utils.rng import SeedLike
+from .dd import DEFAULT_MIN_DURATION
 
 
 @dataclass(frozen=True)
@@ -92,23 +88,20 @@ def compile_circuit(
     is the device's true table (see Fig. 9c for why they can differ).
     ``orient=True`` first re-orients ECR/CX gates to avoid same-role
     adjacencies (the paper's context-avoidance outlook).
+
+    .. deprecated:: 1.1
+        Thin wrapper over :func:`repro.runtime.pipeline_for`; build a
+        :class:`repro.runtime.Pipeline` directly for new code.
     """
-    strategy = get_strategy(strategy)
-    rng = as_generator(seed)
-    out = circuit
-    if orient:
-        out, _report = apply_orientation(out, device)
-    if strategy.twirl:
-        out, _record = apply_twirl(out, rng)
-    if strategy.dd == "aligned":
-        out = apply_aligned_dd(out, device, min_dd_duration)
-    elif strategy.dd == "staggered":
-        out = apply_staggered_dd(out, device, min_dd_duration)
-    elif strategy.dd == "ca":
-        out, _report = apply_ca_dd(out, device, min_dd_duration)
-    if strategy.ec:
-        out, _report = apply_ca_ec(out, device, durations=planner_durations)
-    return out
+    from ..runtime.pipeline import pipeline_for  # local: avoids import cycle
+
+    pipeline = pipeline_for(
+        strategy,
+        planner_durations=planner_durations,
+        min_dd_duration=min_dd_duration,
+        orient=orient,
+    )
+    return pipeline.compile(circuit, device, seed=seed)
 
 
 def realization_factory(

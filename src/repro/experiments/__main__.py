@@ -9,7 +9,8 @@ Usage::
 
 ``--quick`` shrinks shot counts and sweeps so each experiment finishes in
 seconds (useful for smoke-checking an install); default parameters match
-the benchmark harness.
+the benchmark harness. ``--workers N`` fans each experiment's batched
+simulations out over N threads (results are identical for any N).
 """
 
 from __future__ import annotations
@@ -147,7 +148,21 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="reduced statistics (seconds)"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="simulation threads per batched run (deterministic for any N)",
+    )
     args = parser.parse_args(argv)
+
+    if args.workers is not None:
+        if args.workers < 1:
+            parser.error("--workers must be >= 1")
+        from ..runtime import configure
+
+        configure(workers=args.workers)
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

@@ -12,10 +12,11 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from typing import Optional
+
 from ..apps.floquet6 import floquet6_circuit, floquet6_device, probe_target_bits
-from ..compiler.strategies import compile_circuit
-from ..sim.executor import SimOptions, bit_probabilities
-from ..utils.rng import as_generator
+from ..runtime import Task, run
+from ..sim.executor import SimOptions
 
 STRATEGIES = ("none", "ca_dd", "ca_ec", "ca_ec+dd")
 
@@ -41,26 +42,30 @@ def run_fig10(
     shots: int = 24,
     realizations: int = 6,
     seed: int = 7001,
+    backend="trajectory",
+    workers: Optional[int] = None,
 ) -> Fig10Result:
     device = floquet6_device(seed=seed)
     target = {"p": probe_target_bits()}
     result = Fig10Result(steps=list(steps))
+    tasks = [
+        Task(
+            floquet6_circuit(depth),
+            bit_targets=target,
+            pipeline=strategy,
+            realizations=realizations,
+            seed=seed + depth,
+            name=f"{strategy}/d{depth}",
+        )
+        for strategy in STRATEGIES
+        for depth in steps
+    ]
+    batch = run(
+        tasks, device, options=SimOptions(shots=shots), backend=backend,
+        workers=workers,
+    )
     for strategy in STRATEGIES:
-        values = []
-        for depth in steps:
-            circuit = floquet6_circuit(depth)
-            rng = as_generator(seed + depth)
-            samples = []
-            for _ in range(realizations):
-                compiled = compile_circuit(circuit, device, strategy, seed=rng)
-                sub_seed = int(rng.integers(0, 2**63 - 1))
-                res = bit_probabilities(
-                    compiled,
-                    device,
-                    target,
-                    SimOptions(shots=shots, seed=sub_seed),
-                )
-                samples.append(res.values["p"])
-            values.append(float(np.mean(samples)))
-        result.curves[strategy] = values
+        result.curves[strategy] = [
+            float(batch[f"{strategy}/d{depth}"].values["p"]) for depth in steps
+        ]
     return result

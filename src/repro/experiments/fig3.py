@@ -11,11 +11,12 @@ Produces fidelity-vs-depth series for each case and strategy set:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..benchmarking.ramsey import CASE_I, CASE_II, CASE_III, CASE_IV, RamseyCase, ramsey_curve
+from ..benchmarking.ramsey import CASE_I, CASE_II, CASE_III, CASE_IV, RamseyCase, ramsey_task
 from ..device.calibration import Device, synthetic_device
 from ..device.topology import linear_chain
+from ..runtime import run
 from ..sim.executor import SimOptions
 
 CASE_STRATEGIES: Dict[str, List[str]] = {
@@ -54,15 +55,23 @@ def run_fig3(
     realizations: int = 8,
     seed: int = 1001,
     cases: Sequence[str] = tuple(CASES),
+    backend="trajectory",
+    workers: Optional[int] = None,
 ) -> Fig3Result:
     """Run all Ramsey contexts; depths should be even (case IV self-inverts).
 
     The gate-context cases (II-IV) run twirled — as in the paper's layered
     workflow, and necessary for case IV, whose repeated untwirled layer
     accidentally echoes away its own control-control ZZ.
+
+    Every (case, strategy, depth) point becomes one independently seeded
+    :class:`~repro.runtime.Task`, so the whole figure is a single batched
+    run that parallelizes across ``workers``.
     """
     result = Fig3Result(depths=list(depths))
     options = SimOptions(shots=shots)
+    tasks = []
+    keys = []
     for case_name in cases:
         case = CASES[case_name]
         device = synthetic_device(
@@ -73,15 +82,22 @@ def run_fig3(
         twirl = case.name != CASE_I.name
         result.curves[case.name] = {}
         for strategy in CASE_STRATEGIES[case.name]:
-            result.curves[case.name][strategy] = ramsey_curve(
-                case,
-                device,
-                depths,
-                strategy,
-                tau=tau,
-                twirl=twirl,
-                realizations=realizations if twirl else 1,
-                options=options,
-                seed=seed,
-            )
+            result.curves[case.name][strategy] = []
+            for depth in depths:
+                tasks.append(
+                    ramsey_task(
+                        case,
+                        device,
+                        depth,
+                        strategy,
+                        tau=tau,
+                        twirl=twirl,
+                        realizations=realizations if twirl else 1,
+                        seed=seed,
+                    )
+                )
+                keys.append((case.name, strategy))
+    batch = run(tasks, options=options, backend=backend, workers=workers)
+    for (case_name, strategy), point in zip(keys, batch):
+        result.curves[case_name][strategy].append(float(point.values["f"]))
     return result

@@ -22,7 +22,8 @@ from ..compiler.dd import apply_dd_by_rule
 from ..compiler.walsh import walsh_fractions
 from ..device.calibration import Device, QubitParams, synthetic_device
 from ..device.topology import linear_chain
-from ..sim.executor import SimOptions, bit_probabilities
+from ..runtime import Task, run
+from ..sim.executor import SimOptions
 from ..utils.units import KHZ
 
 
@@ -120,8 +121,8 @@ def run_nnn_walsh(
 
     result = NNNResult(depths=list(depths))
     options = SimOptions(shots=shots)
+    tasks = []
     for name, assignment in schemes.items():
-        values = []
         for depth in depths:
             circuit = _idle_ramsey_all(3, depth, tau)
             if assignment:
@@ -133,14 +134,19 @@ def run_nnn_walsh(
                 )
             else:
                 dressed = circuit
-            res = bit_probabilities(
-                dressed,
-                device,
-                {"f": {0: 0, 1: 0, 2: 0}},
-                options.with_seed(seed + depth),
+            tasks.append(
+                Task(
+                    dressed,
+                    bit_targets={"f": {0: 0, 1: 0, 2: 0}},
+                    seed=seed + depth,
+                    name=f"{name}/d{depth}",
+                )
             )
-            values.append(res.values["f"])
-        result.curves[name] = values
+    batch = run(tasks, device, options=options)
+    for name in schemes:
+        result.curves[name] = [
+            batch[f"{name}/d{depth}"].values["f"] for depth in depths
+        ]
     return result
 
 

@@ -9,9 +9,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
+from typing import Optional
+
 from ..apps.ising import boundary_xx_label, ideal_boundary_xx, ising_circuit, ising_device
-from ..compiler.strategies import realization_factory
-from ..sim.executor import SimOptions, average_over_realizations
+from ..runtime import Task, run
+from ..sim.executor import SimOptions
 
 STRATEGIES = ("none", "ca_ec", "ca_dd")
 
@@ -37,6 +39,8 @@ def run_fig6(
     shots: int = 24,
     realizations: int = 6,
     seed: int = 3001,
+    backend="trajectory",
+    workers: Optional[int] = None,
 ) -> Fig6Result:
     device = ising_device(num_qubits, seed=seed)
     observable = {"xx": boundary_xx_label(num_qubits)}
@@ -44,19 +48,21 @@ def run_fig6(
         steps=list(steps), ideal=[ideal_boundary_xx(d) for d in steps]
     )
     options = SimOptions(shots=shots)
+    tasks = [
+        Task(
+            ising_circuit(num_qubits, depth),
+            observables=observable,
+            pipeline=strategy,
+            realizations=realizations,
+            seed=seed + depth,
+            name=f"{strategy}/d{depth}",
+        )
+        for strategy in STRATEGIES
+        for depth in steps
+    ]
+    batch = run(tasks, device, options=options, backend=backend, workers=workers)
     for strategy in STRATEGIES:
-        values = []
-        for depth in steps:
-            circuit = ising_circuit(num_qubits, depth)
-            factory = realization_factory(circuit, device, strategy)
-            res = average_over_realizations(
-                factory,
-                device,
-                observable,
-                realizations=realizations,
-                options=options,
-                seed=seed + depth,
-            )
-            values.append(res.values["xx"])
-        result.curves[strategy] = values
+        result.curves[strategy] = [
+            batch[f"{strategy}/d{depth}"].values["xx"] for depth in steps
+        ]
     return result

@@ -11,10 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
+from typing import Optional
+
 from ..apps.heisenberg import heisenberg_circuit, heisenberg_device, site_z_label
 from ..benchmarking.mitigation import DepolarizingFit, fit_global_depolarizing
-from ..compiler.strategies import realization_factory
-from ..sim.executor import SimOptions, average_over_realizations, expectation_values
+from ..runtime import Task, run
+from ..sim.executor import SimOptions
 
 STRATEGIES = ("none", "dd", "ca_dd", "ca_ec")
 
@@ -59,6 +61,8 @@ def run_fig7(
     realizations: int = 5,
     seed: int = 4001,
     coupling: float = 1.2,
+    backend="trajectory",
+    workers: Optional[int] = None,
 ) -> Fig7Result:
     device = heisenberg_device(num_qubits, seed=seed)
     observable = {"z": site_z_label(num_qubits, site)}
@@ -71,31 +75,37 @@ def run_fig7(
         gate_errors=False,
         seed=0,
     )
-    ideal = [
-        expectation_values(
-            heisenberg_circuit(num_qubits, d, coupling=coupling),
-            device.ideal(),
-            observable,
-            ideal_options,
-        ).values["z"]
-        for d in steps
-    ]
+    ideal_batch = run(
+        [
+            Task(
+                heisenberg_circuit(num_qubits, d, coupling=coupling),
+                observables=observable,
+                device=device.ideal(),
+            )
+            for d in steps
+        ],
+        options=ideal_options,
+        backend=backend,
+        workers=workers,
+    )
+    ideal = [point.values["z"] for point in ideal_batch]
     result = Fig7Result(steps=list(steps), ideal=ideal)
     options = SimOptions(shots=shots)
+    tasks = [
+        Task(
+            heisenberg_circuit(num_qubits, depth, coupling=coupling),
+            observables=observable,
+            pipeline=strategy,
+            realizations=realizations,
+            seed=seed + depth,
+            name=f"{strategy}/d{depth}",
+        )
+        for strategy in STRATEGIES
+        for depth in steps
+    ]
+    batch = run(tasks, device, options=options, backend=backend, workers=workers)
     for strategy in STRATEGIES:
-        values = []
-        for depth in steps:
-            circuit = heisenberg_circuit(num_qubits, depth, coupling=coupling)
-            factory = realization_factory(circuit, device, strategy)
-            res = average_over_realizations(
-                factory,
-                device,
-                observable,
-                realizations=realizations,
-                options=options,
-                seed=seed + depth,
-            )
-            values.append(res.values["z"])
+        values = [batch[f"{strategy}/d{depth}"].values["z"] for depth in steps]
         result.curves[strategy] = values
         result.fits[strategy] = fit_global_depolarizing(steps, values, ideal)
     return result

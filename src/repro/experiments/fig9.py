@@ -19,7 +19,8 @@ from ..apps.dynamic import (
     conditionally_compensated_circuit,
     dynamic_device,
 )
-from ..sim.executor import SimOptions, bit_probabilities
+from ..runtime import Task, run
+from ..sim.executor import SimOptions
 
 
 @dataclass
@@ -65,6 +66,8 @@ def run_fig9(
     true_feedforward: float = 1150.0,
     shots: int = 160,
     seed: int = 6001,
+    backend="trajectory",
+    workers: Optional[int] = None,
 ) -> Fig9Result:
     if estimates is None:
         estimates = list(np.linspace(0.0, 3000.0, 13))
@@ -72,19 +75,31 @@ def run_fig9(
     options = SimOptions(shots=shots, seed=seed)
     target = {"f": bell_target_bits()}
 
-    bare = bit_probabilities(bell_dynamic_circuit(), device, target, options)
-    fidelities = []
-    for estimate in estimates:
-        compiled = compensated_circuit(device, feedforward_estimate=estimate)
-        res = bit_probabilities(compiled, device, target, options)
-        fidelities.append(res.values["f"])
-    conditional = bit_probabilities(
-        conditionally_compensated_circuit(device), device, target, options
+    # Bare baseline, the estimate sweep, and the conditional variant as one
+    # batched run; every task reuses options.seed, as the legacy loop did.
+    tasks = [Task(bell_dynamic_circuit(), bit_targets=target, name="bare")]
+    tasks += [
+        Task(
+            compensated_circuit(device, feedforward_estimate=estimate),
+            bit_targets=target,
+            name=f"est{i}",
+        )
+        for i, estimate in enumerate(estimates)
+    ]
+    tasks.append(
+        Task(
+            conditionally_compensated_circuit(device),
+            bit_targets=target,
+            name="conditional",
+        )
     )
+    batch = run(tasks, device, options=options, backend=backend, workers=workers)
     return Fig9Result(
         estimates=list(estimates),
-        fidelities=fidelities,
-        bare_fidelity=bare.values["f"],
+        fidelities=[
+            batch[f"est{i}"].values["f"] for i in range(len(estimates))
+        ],
+        bare_fidelity=batch["bare"].values["f"],
         true_feedforward=true_feedforward,
-        conditional_fidelity=conditional.values["f"],
+        conditional_fidelity=batch["conditional"].values["f"],
     )

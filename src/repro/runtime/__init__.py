@@ -1,0 +1,62 @@
+"""Unified runtime: composable pipelines, pluggable backends, batched runs.
+
+The three pieces fit together like this::
+
+    from repro.runtime import CADD, CAEC, Pipeline, Task, Twirl, run
+
+    # 1. a compilation recipe: a named strategy or a custom pass pipeline
+    pipeline = Pipeline([Twirl(), CADD(), CAEC()])   # or pipeline="ca_ec+dd"
+
+    # 2. tasks: circuit + what to measure + statistics
+    tasks = [
+        Task(circ, observables={"z": "IIZ"}, pipeline=pipeline,
+             realizations=8, seed=k)
+        for k, circ in enumerate(circuits)
+    ]
+
+    # 3. one batched, parallel, backend-agnostic run
+    batch = run(tasks, device, backend="trajectory", workers=4)
+
+See :mod:`repro.runtime.task` for the seed semantics that make the batched
+path bit-for-bit equivalent to the legacy single-task entry points.
+"""
+
+from .backends import (
+    BACKENDS,
+    Backend,
+    DensityBackend,
+    TrajectoryBackend,
+    get_backend,
+    register_backend,
+)
+from .passes import CADD, CAEC, AlignedDD, Orient, Pass, PassContext, StaggeredDD, Twirl
+from .pipeline import IDENTITY, Pipeline, as_pipeline, pipeline_for
+from .run import configure, default_workers, run
+from .task import BatchResult, Task, TaskResult
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "DensityBackend",
+    "TrajectoryBackend",
+    "get_backend",
+    "register_backend",
+    "CADD",
+    "CAEC",
+    "AlignedDD",
+    "Orient",
+    "Pass",
+    "PassContext",
+    "StaggeredDD",
+    "Twirl",
+    "IDENTITY",
+    "Pipeline",
+    "as_pipeline",
+    "pipeline_for",
+    "configure",
+    "default_workers",
+    "run",
+    "BatchResult",
+    "Task",
+    "TaskResult",
+]

@@ -1,0 +1,314 @@
+"""Pluggable execution backends and the backend registry.
+
+A :class:`Backend` turns a list of :class:`~repro.runtime.task.Task`
+objects into :class:`~repro.runtime.task.TaskResult` objects. Two
+implementations ship with the library:
+
+* ``"trajectory"`` — the Monte-Carlo trajectory executor
+  (:class:`repro.sim.Executor`); statistical errors shrink with ``shots``.
+* ``"density"`` — the exact density-matrix simulator
+  (:class:`repro.sim.DensityExecutor`); zero-variance values for small
+  systems (``shots`` is ignored and reported as 0).
+
+Select one by name (``backend="trajectory"``) or register your own
+(vectorized, sharded, hardware-facing, ...) with :func:`register_backend`.
+
+The shared batching machinery compiles every realization *sequentially* on
+the caller's thread — preserving the exact RNG draw order of the legacy
+single-task loops — and only fans the (independently seeded) simulations
+out across workers, so results are identical for any ``workers`` value.
+Tasks whose pipeline is deterministic are compiled and scheduled once, and
+the trajectory executor's cached static coherent accumulation is shared
+across all their realizations.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuits.schedule import ScheduledCircuit, schedule
+from ..device.calibration import Device
+from ..pauli.pauli import Pauli
+from ..sim.density import DensityExecutor
+from ..sim.executor import Executor, SimOptions, SimResult
+from ..utils.rng import SeedLike, as_generator
+from .pipeline import as_pipeline
+from .task import CircuitLike, Task, TaskResult
+
+
+@dataclass
+class _Unit:
+    """One simulation job: a compiled circuit with its own seed."""
+
+    task_index: int
+    circuit: CircuitLike
+    device: Device
+    seed: SeedLike
+    engine: Any = None  # pre-built engine shared across a task's realizations
+
+
+def _as_scheduled(circuit: CircuitLike, device: Device) -> ScheduledCircuit:
+    if isinstance(circuit, ScheduledCircuit):
+        return circuit
+    return schedule(circuit, device.durations)
+
+
+def _normalize_payload(task: Task) -> Tuple[str, Dict]:
+    if task.observables is not None:
+        paulis = {
+            k: (Pauli.from_label(v) if isinstance(v, str) else v)
+            for k, v in task.observables.items()
+        }
+        return "expectations", paulis
+    return "probabilities", dict(task.bit_targets)
+
+
+class Backend(ABC):
+    """Common interface: ``run(tasks, ...) -> list[TaskResult]``."""
+
+    name: str = ""
+    #: False for exact backends whose results ignore the unit seed; the
+    #: batcher then collapses a deterministic pipeline's realizations into
+    #: one simulation instead of repeating identical exact evolutions.
+    seed_sensitive: bool = True
+
+    def run(
+        self,
+        tasks: Sequence[Task],
+        device: Optional[Device] = None,
+        options: Optional[SimOptions] = None,
+        workers: int = 1,
+    ) -> List[TaskResult]:
+        """Execute every task and return results in task order.
+
+        ``device`` is the default for tasks without their own; ``workers``
+        bounds the simulation thread pool (compilation stays sequential so
+        RNG streams — and therefore results — are worker-count invariant).
+        """
+        options = options or SimOptions()
+        payloads = [_normalize_payload(task) for task in tasks]
+        units: List[_Unit] = []
+        direct: List[bool] = []
+        for index, task in enumerate(tasks):
+            task_device = task.device or device
+            if task_device is None:
+                raise ValueError(f"task {index} has no device and no default given")
+            task_units, is_direct = self._prepare(index, task, task_device, options)
+            units.extend(task_units)
+            direct.append(is_direct)
+
+        outcomes = self._execute_units(units, tasks, payloads, options, workers)
+
+        per_task: List[List[Tuple[SimResult, float]]] = [[] for _ in tasks]
+        for unit, outcome in zip(units, outcomes):
+            per_task[unit.task_index].append(outcome)
+        return [
+            self._aggregate(task, results, direct[i])
+            for i, (task, results) in enumerate(zip(tasks, per_task))
+        ]
+
+    # -- preparation (sequential: preserves RNG draw order) -------------------
+
+    def _prepare(
+        self, index: int, task: Task, device: Device, options: SimOptions
+    ) -> Tuple[List[_Unit], bool]:
+        """Compile a task's realizations into seeded simulation units."""
+        if task.factory is None and task.pipeline is None and task.realizations == 1:
+            # Raw execution: the circuit runs as-is, seeded directly
+            # (matching expectation_values / bit_probabilities).
+            return [_Unit(index, task.circuit, device, task.seed)], True
+
+        rng = as_generator(task.seed if task.seed is not None else options.seed)
+        units: List[_Unit] = []
+        if task.factory is not None:
+            for _ in range(task.realizations):
+                compiled = task.factory(rng)
+                sub_seed = int(rng.integers(0, 2**63 - 1))
+                units.append(_Unit(index, compiled, device, sub_seed))
+            return units, False
+
+        pipeline = as_pipeline(task.pipeline)
+        if pipeline.is_deterministic:
+            # One compile + one schedule; the engine (and, for the
+            # trajectory backend, its cached static coherent accumulation)
+            # is shared by every realization.
+            compiled = pipeline.compile(task.circuit, device, seed=rng)
+            engine = self._make_engine(_as_scheduled(compiled, device), device, options)
+            count = task.realizations if self.seed_sensitive else 1
+            for _ in range(count):
+                sub_seed = int(rng.integers(0, 2**63 - 1))
+                units.append(_Unit(index, compiled, device, sub_seed, engine=engine))
+        else:
+            for _ in range(task.realizations):
+                compiled = pipeline.compile(task.circuit, device, seed=rng)
+                sub_seed = int(rng.integers(0, 2**63 - 1))
+                units.append(_Unit(index, compiled, device, sub_seed))
+        return units, False
+
+    # -- execution -------------------------------------------------------------
+
+    def _execute_units(
+        self,
+        units: List[_Unit],
+        tasks: Sequence[Task],
+        payloads: List[Tuple[str, Dict]],
+        options: SimOptions,
+        workers: int,
+    ) -> List[Tuple[SimResult, float]]:
+        def job(unit: _Unit) -> Tuple[SimResult, float]:
+            start = time.perf_counter()
+            engine = unit.engine
+            if engine is None:
+                engine = self._make_engine(
+                    _as_scheduled(unit.circuit, unit.device), unit.device, options
+                )
+            kind, payload = payloads[unit.task_index]
+            shots = tasks[unit.task_index].shots
+            result = self._execute(engine, kind, payload, shots, unit.seed)
+            return result, time.perf_counter() - start
+
+        if workers > 1 and len(units) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(job, units))
+        return [job(unit) for unit in units]
+
+    # -- aggregation -----------------------------------------------------------
+
+    def _aggregate(
+        self, task: Task, results: List[Tuple[SimResult, float]], is_direct: bool
+    ) -> TaskResult:
+        elapsed = sum(t for _r, t in results)
+        if is_direct:
+            result = results[0][0]
+            return TaskResult(
+                values=result.values,
+                errors=result.errors,
+                shots=result.shots,
+                name=task.name,
+                backend=self.name,
+                realizations=1,
+                wall_time=elapsed,
+            )
+        # Pool realization means exactly like average_over_realizations.
+        pooled: Dict[str, List[float]] = {}
+        total = 0
+        for result, _t in results:
+            for key, value in result.values.items():
+                pooled.setdefault(key, []).append(value)
+            total += result.shots
+        values = {k: float(np.mean(v)) for k, v in pooled.items()}
+        errors = {
+            k: float(np.std(v, ddof=1) / math.sqrt(len(v))) if len(v) > 1 else 0.0
+            for k, v in pooled.items()
+        }
+        return TaskResult(
+            values=values,
+            errors=errors,
+            shots=total,
+            name=task.name,
+            backend=self.name,
+            realizations=len(results),
+            wall_time=elapsed,
+        )
+
+    # -- backend-specific hooks ------------------------------------------------
+
+    @abstractmethod
+    def _make_engine(
+        self, scheduled: ScheduledCircuit, device: Device, options: SimOptions
+    ) -> Any:
+        """Build the simulation engine for one scheduled circuit."""
+
+    @abstractmethod
+    def _execute(
+        self,
+        engine: Any,
+        kind: str,
+        payload: Dict,
+        shots: Optional[int],
+        seed: SeedLike,
+    ) -> SimResult:
+        """Run one seeded simulation and return a ``SimResult``."""
+
+
+class TrajectoryBackend(Backend):
+    """Monte-Carlo trajectories via :class:`repro.sim.Executor`."""
+
+    name = "trajectory"
+
+    def _make_engine(self, scheduled, device, options) -> Executor:
+        return Executor(scheduled, device, options)
+
+    def _execute(self, engine, kind, payload, shots, seed) -> SimResult:
+        if kind == "expectations":
+            return engine.expectations(payload, shots=shots, seed=seed)
+        return engine.probabilities(payload, shots=shots, seed=seed)
+
+
+class DensityBackend(Backend):
+    """Exact density-matrix evolution via :class:`repro.sim.DensityExecutor`.
+
+    Values are exact under the averaged noise model (zero variance), so
+    per-unit errors are 0 and ``shots`` is reported as 0. Twirl sampling
+    still follows the task's realization stream, so realization averages
+    use the same twirls as the trajectory backend.
+    """
+
+    name = "density"
+    seed_sensitive = False
+
+    def _make_engine(self, scheduled, device, options) -> DensityExecutor:
+        return DensityExecutor(scheduled, device, options)
+
+    def _execute(self, engine, kind, payload, shots, seed) -> SimResult:
+        if kind == "expectations":
+            values = engine.expectations(payload)
+        else:
+            values = engine.probabilities(payload)
+        return SimResult(
+            values={k: float(v) for k, v in values.items()},
+            errors={k: 0.0 for k in values},
+            shots=0,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+BackendLike = Union[str, Backend]
+
+BACKENDS: Dict[str, Callable[[], Backend]] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[], Backend], overwrite: bool = False
+) -> None:
+    """Register a backend factory under ``name`` for use by ``run()``."""
+    if name in BACKENDS and not overwrite:
+        raise ValueError(f"backend {name!r} already registered")
+    BACKENDS[name] = factory
+
+
+def get_backend(spec: BackendLike) -> Backend:
+    """Resolve a backend instance from a name or pass one through."""
+    if isinstance(spec, Backend):
+        return spec
+    try:
+        factory = BACKENDS[spec]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown backend {spec!r}; choose from {sorted(BACKENDS)}"
+        ) from None
+    return factory()
+
+
+register_backend("trajectory", TrajectoryBackend)
+register_backend("density", DensityBackend)

@@ -72,6 +72,33 @@ class SimResult:
     def __getitem__(self, key: str) -> float:
         return self.values[key]
 
+    def error(self, key: str) -> float:
+        """Standard error of the mean for ``key``."""
+        return self.errors[key]
+
+    def items(self):
+        """Iterate over ``(key, value)`` pairs, like a dict."""
+        return self.values.items()
+
+    def keys(self):
+        return self.values.keys()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.values
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{k}={v:+.6f}±{self.errors.get(k, 0.0):.6f}"
+            for k, v in self.values.items()
+        )
+        return f"{type(self).__name__}({body}, shots={self.shots})"
+
 
 def _sample_detunings(device: Device, rng: np.random.Generator) -> np.ndarray:
     """Per-shot quasi-static detuning + random-sign charge parity (GHz)."""
@@ -230,10 +257,18 @@ class Executor:
     # -- aggregated runs -------------------------------------------------------
 
     def expectations(
-        self, observables: Dict[str, Pauli], shots: Optional[int] = None
+        self,
+        observables: Dict[str, Pauli],
+        shots: Optional[int] = None,
+        seed: SeedLike = None,
     ) -> SimResult:
-        """Average ``<P>`` over trajectories for each named observable."""
-        rng = as_generator(self.options.seed)
+        """Average ``<P>`` over trajectories for each named observable.
+
+        ``seed`` overrides ``options.seed`` for this call, so one executor
+        (with its cached static coherent accumulation) can serve many
+        independently seeded runs — the batched runtime relies on this.
+        """
+        rng = as_generator(seed if seed is not None else self.options.seed)
         count = shots or self.options.shots
         samples: Dict[str, List[float]] = {k: [] for k in observables}
         for _ in range(count):
@@ -246,10 +281,13 @@ class Executor:
         return _aggregate(samples, count)
 
     def probabilities(
-        self, targets: Dict[str, Dict[int, int]], shots: Optional[int] = None
+        self,
+        targets: Dict[str, Dict[int, int]],
+        shots: Optional[int] = None,
+        seed: SeedLike = None,
     ) -> SimResult:
         """Average probability of each named qubit->bit assignment."""
-        rng = as_generator(self.options.seed)
+        rng = as_generator(seed if seed is not None else self.options.seed)
         count = shots or self.options.shots
         samples: Dict[str, List[float]] = {k: [] for k in targets}
         for _ in range(count):
@@ -291,6 +329,14 @@ def _apply_decay_jump(state: StateVector, qubit: int) -> None:
     one = ((idx >> qubit) & 1) == 1
     amp = np.where(one, state.vector, 0.0)
     norm = np.linalg.norm(amp)
+    if norm <= 0.0:
+        # The |1> amplitude underflowed: the jump branch has vanishing
+        # probability, so renormalize the un-jumped state instead of
+        # dividing by zero.
+        total = np.linalg.norm(state.vector)
+        if total > 0.0:
+            state.vector = state.vector / total
+        return
     lowered = np.zeros_like(state.vector)
     lowered[idx[one] ^ (1 << qubit)] = amp[one]
     state.vector = lowered / norm
@@ -300,9 +346,14 @@ def _apply_no_jump(state: StateVector, qubit: int, gamma: float) -> None:
     """No-jump Kraus ``diag(1, sqrt(1-gamma))`` with renormalization."""
     idx = np.arange(state.vector.size)
     one = ((idx >> qubit) & 1) == 1
-    state.vector = np.where(one, state.vector * math.sqrt(1.0 - gamma), state.vector)
-    norm = np.linalg.norm(state.vector)
-    state.vector /= norm
+    scaled = np.where(one, state.vector * math.sqrt(1.0 - gamma), state.vector)
+    norm = np.linalg.norm(scaled)
+    if norm <= 0.0:
+        # gamma ~ 1 with all population in |1>: the no-jump branch carries
+        # zero weight, so the trajectory decays deterministically.
+        _apply_decay_jump(state, qubit)
+        return
+    state.vector = scaled / norm
 
 
 def _aggregate(samples: Dict[str, List[float]], count: int) -> SimResult:
@@ -338,13 +389,16 @@ def expectation_values(
     """Run ``circuit`` on ``device`` and return Pauli expectation values.
 
     ``observables`` may use label strings (leftmost char = highest qubit).
+
+    .. deprecated:: 1.1
+        Thin wrapper over the batched runtime; prefer
+        ``repro.runtime.run(Task(circuit, observables=...), device)``.
     """
-    scheduled = _as_scheduled(circuit, device)
-    paulis = {
-        k: (Pauli.from_label(v) if isinstance(v, str) else v)
-        for k, v in observables.items()
-    }
-    return Executor(scheduled, device, options).expectations(paulis)
+    from ..runtime import Task, run  # local: the runtime imports this module
+
+    return run(
+        Task(circuit, observables=observables), device, options=options
+    ).results[0]
 
 
 def bit_probabilities(
@@ -353,9 +407,15 @@ def bit_probabilities(
     targets: Dict[str, Dict[int, int]],
     options: Optional[SimOptions] = None,
 ) -> SimResult:
-    """Run ``circuit`` and return probabilities of qubit->bit assignments."""
-    scheduled = _as_scheduled(circuit, device)
-    return Executor(scheduled, device, options).probabilities(targets)
+    """Run ``circuit`` and return probabilities of qubit->bit assignments.
+
+    .. deprecated:: 1.1
+        Thin wrapper over the batched runtime; prefer
+        ``repro.runtime.run(Task(circuit, bit_targets=...), device)``.
+    """
+    from ..runtime import Task, run  # local: the runtime imports this module
+
+    return run(Task(circuit, bit_targets=targets), device, options=options).results[0]
 
 
 def average_over_realizations(
@@ -370,23 +430,18 @@ def average_over_realizations(
 
     ``factory(rng)`` must return a fresh realization; each runs with
     ``options.shots`` trajectories, and results are pooled.
+
+    .. deprecated:: 1.1
+        Thin wrapper over the batched runtime; prefer
+        ``repro.runtime.run(Task(circuit, pipeline=..., realizations=N),
+        device)``.
     """
-    options = options or SimOptions()
-    rng = as_generator(seed if seed is not None else options.seed)
-    pooled: Dict[str, List[float]] = {k: [] for k in observables}
-    total = 0
-    for _ in range(realizations):
-        circuit = factory(rng)
-        sub_seed = int(rng.integers(0, 2**63 - 1))
-        result = expectation_values(
-            circuit, device, observables, options.with_seed(sub_seed)
-        )
-        for key in observables:
-            pooled[key].append(result.values[key])
-        total += result.shots
-    values = {k: float(np.mean(v)) for k, v in pooled.items()}
-    errors = {
-        k: float(np.std(v, ddof=1) / math.sqrt(len(v))) if len(v) > 1 else 0.0
-        for k, v in pooled.items()
-    }
-    return SimResult(values=values, errors=errors, shots=total)
+    from ..runtime import Task, run  # local: the runtime imports this module
+
+    task = Task(
+        factory=factory,
+        observables=observables,
+        realizations=realizations,
+        seed=seed,
+    )
+    return run(task, device, options=options).results[0]

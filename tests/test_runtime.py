@@ -1,0 +1,374 @@
+"""Runtime tests: pipelines, backends, and the batched ``run()``.
+
+The load-bearing guarantees:
+
+* every named strategy's pipeline compiles seed-for-seed identically to
+  the pre-runtime ``compile_circuit`` pass chain;
+* ``run()`` results are invariant under the worker count;
+* a batched multi-worker run reproduces the sequential legacy execution
+  path exactly (compile, seed, simulate, pool — same draws, same floats).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    BACKENDS,
+    Circuit,
+    Pipeline,
+    SimOptions,
+    Task,
+    TaskResult,
+    average_over_realizations,
+    compile_circuit,
+    draw,
+    expectation_values,
+    realization_factory,
+    run,
+    schedule,
+)
+from repro.compiler.ca_dd import apply_ca_dd
+from repro.compiler.ca_ec import apply_ca_ec
+from repro.compiler.dd import DEFAULT_MIN_DURATION, apply_aligned_dd, apply_staggered_dd
+from repro.compiler.strategies import STRATEGIES, get_strategy
+from repro.pauli import Pauli
+from repro.pauli.twirling import apply_twirl
+from repro.runtime import (
+    CADD,
+    CAEC,
+    DensityBackend,
+    Orient,
+    Twirl,
+    get_backend,
+    pipeline_for,
+    register_backend,
+)
+from repro.sim import Executor, density_expectations
+from repro.utils.rng import as_generator
+
+
+def layered_circuit(num_qubits: int = 4, layers: int = 2) -> Circuit:
+    circ = Circuit(num_qubits)
+    for q in range(num_qubits):
+        circ.h(q, new_moment=(q == 0))
+    for _ in range(layers):
+        circ.can(0.3, 0.2, 0.4, 0, 1, new_moment=True)
+        circ.append_moment([])
+        circ.can(0.1, 0.5, 0.2, 2, 3, new_moment=True)
+        circ.append_moment([])
+    return circ
+
+
+def legacy_compile(circuit, device, strategy, rng):
+    """The pre-runtime ``compile_circuit`` pass chain, inlined verbatim."""
+    strategy = get_strategy(strategy)
+    out = circuit
+    if strategy.twirl:
+        out, _ = apply_twirl(out, rng)
+    if strategy.dd == "aligned":
+        out = apply_aligned_dd(out, device, DEFAULT_MIN_DURATION)
+    elif strategy.dd == "staggered":
+        out = apply_staggered_dd(out, device, DEFAULT_MIN_DURATION)
+    elif strategy.dd == "ca":
+        out, _ = apply_ca_dd(out, device, DEFAULT_MIN_DURATION)
+    if strategy.ec:
+        out, _ = apply_ca_ec(out, device, durations=None)
+    return out
+
+
+OBS = {"x2": "IXII", "x3": "XIII"}
+
+
+class TestPipelineEquivalence:
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_named_pipeline_matches_legacy_chain(self, chain4, strategy):
+        """pipeline_for(name) reproduces the pre-runtime chain exactly."""
+        circ = layered_circuit()
+        via_pipeline = pipeline_for(strategy).compile(circ, chain4, seed=13)
+        via_legacy = legacy_compile(circ, chain4, strategy, as_generator(13))
+        assert draw(via_pipeline) == draw(via_legacy)
+
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_compile_circuit_shim_matches(self, chain4, strategy):
+        circ = layered_circuit()
+        assert draw(compile_circuit(circ, chain4, strategy, seed=7)) == draw(
+            pipeline_for(strategy).compile(circ, chain4, seed=7)
+        )
+
+    def test_custom_pipeline_composes(self, chain4):
+        circ = layered_circuit()
+        pipeline = Pipeline([Orient(), Twirl(), CADD(), CAEC()])
+        assert pipeline.name == "orient+twirl+ca_dd+ca_ec"
+        assert not pipeline.is_deterministic
+        compiled = pipeline.compile(circ, chain4, seed=0)
+        assert compiled.num_qubits == 4
+        # seed-for-seed reproducible
+        again = pipeline.compile(circ, chain4, seed=0)
+        assert draw(compiled) == draw(again)
+
+    def test_pipeline_then_and_determinism(self):
+        base = Pipeline([CADD()])
+        assert base.is_deterministic
+        extended = base.then(Twirl())
+        assert len(extended) == 2
+        assert not extended.is_deterministic
+
+    def test_context_collects_reports(self, chain4):
+        from repro.runtime import PassContext
+
+        ctx = PassContext.from_seed(3)
+        Pipeline([Twirl(), CAEC()]).compile(layered_circuit(), chain4, context=ctx)
+        assert "twirl" in ctx.reports and "ca_ec" in ctx.reports
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            pipeline_for("nope")
+
+
+class TestBackendRegistry:
+    def test_builtin_backends_registered(self):
+        assert {"trajectory", "density"} <= set(BACKENDS)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("vectorized-gpu")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("trajectory", DensityBackend)
+
+    def test_custom_backend_registration(self, chain4):
+        class EchoBackend(DensityBackend):
+            name = "echo"
+
+        register_backend("echo", EchoBackend, overwrite=True)
+        try:
+            circ = Circuit(2)
+            circ.h(0)
+            batch = run(
+                Task(circ, observables={"z": "IZ"}),
+                chain4.subdevice([0, 1]),
+                backend="echo",
+            )
+            assert batch.backend == "echo"
+        finally:
+            BACKENDS.pop("echo", None)
+
+    def test_backend_instance_passes_through(self):
+        backend = DensityBackend()
+        assert get_backend(backend) is backend
+
+
+class TestTaskValidation:
+    def test_requires_circuit_or_factory(self):
+        with pytest.raises(ValueError, match="circuit or factory"):
+            Task(observables={"z": "Z"})
+
+    def test_requires_one_measurement_kind(self):
+        circ = Circuit(1)
+        with pytest.raises(ValueError, match="observables or bit_targets"):
+            Task(circ)
+        with pytest.raises(ValueError, match="observables or bit_targets"):
+            Task(circ, observables={"z": "Z"}, bit_targets={"f": {0: 0}})
+
+    def test_rejects_nonpositive_realizations(self):
+        circ = Circuit(1)
+        with pytest.raises(ValueError, match="realizations"):
+            Task(circ, observables={"z": "Z"}, realizations=0)
+
+    def test_device_required_somewhere(self, chain4):
+        task = Task(layered_circuit(), observables=OBS)
+        with pytest.raises(ValueError, match="no device"):
+            run(task)
+        assert run(task, chain4, options=SimOptions(shots=2, seed=0)).results
+
+
+class TestBatchedRun:
+    def test_workers_do_not_change_values(self, chain4):
+        """The headline determinism guarantee: workers only change speed."""
+        circ = layered_circuit()
+        opts = SimOptions(shots=8)
+        tasks = [
+            Task(circ, observables=OBS, pipeline="ca_ec+dd",
+                 realizations=3, seed=s)
+            for s in range(4)
+        ]
+        serial = run(tasks, chain4, options=opts, workers=1)
+        threaded = run(tasks, chain4, options=opts, workers=2)
+        assert serial.backend == threaded.backend == "trajectory"
+        for a, b in zip(serial, threaded):
+            assert a.values == b.values
+            assert a.errors == b.errors
+            assert a.shots == b.shots
+
+    def test_batched_run_matches_sequential_legacy_path(self, chain4):
+        """Acceptance: >=4 tasks, workers>1, ca_ec+dd — seed-for-seed equal
+        to the pre-runtime sequential loop (compile, draw sub-seed,
+        simulate, pool realization means)."""
+        opts = SimOptions(shots=6)
+        paulis = {k: Pauli.from_label(v) for k, v in OBS.items()}
+        circuits = [layered_circuit(layers=k % 2 + 1) for k in range(5)]
+        tasks = [
+            Task(circ, observables=OBS, pipeline="ca_ec+dd",
+                 realizations=3, seed=40 + k)
+            for k, circ in enumerate(circuits)
+        ]
+        batch = run(tasks, chain4, options=opts, workers=3)
+
+        for task, circ, result in zip(tasks, circuits, batch):
+            rng = as_generator(task.seed)
+            means = {k: [] for k in OBS}
+            for _ in range(task.realizations):
+                compiled = legacy_compile(circ, chain4, "ca_ec+dd", rng)
+                sub_seed = int(rng.integers(0, 2**63 - 1))
+                scheduled = schedule(compiled, chain4.durations)
+                res = Executor(
+                    scheduled, chain4, opts.with_seed(sub_seed)
+                ).expectations(paulis)
+                for key in OBS:
+                    means[key].append(res.values[key])
+            for key in OBS:
+                assert result.values[key] == float(np.mean(means[key]))
+                assert result.errors[key] == float(
+                    np.std(means[key], ddof=1) / math.sqrt(len(means[key]))
+                )
+
+    def test_shims_delegate_to_runtime(self, chain4):
+        """Legacy entry points return the runtime's results unchanged."""
+        circ = layered_circuit()
+        opts = SimOptions(shots=8, seed=5)
+        legacy = expectation_values(circ, chain4, OBS, opts)
+        direct = run(Task(circ, observables=OBS), chain4, options=opts)[0]
+        assert legacy.values == direct.values
+
+        factory = realization_factory(circ, chain4, "ca_dd")
+        pooled = average_over_realizations(
+            factory, chain4, OBS, realizations=3, options=SimOptions(shots=4), seed=9
+        )
+        via_task = run(
+            Task(circ, observables=OBS, pipeline="ca_dd", realizations=3, seed=9),
+            chain4,
+            options=SimOptions(shots=4),
+        )[0]
+        assert pooled.values == via_task.values
+
+    def test_factory_tasks(self, chain4):
+        factory = realization_factory(layered_circuit(), chain4, "none")
+        result = run(
+            Task(factory=factory, observables=OBS, realizations=2, seed=1),
+            chain4,
+            options=SimOptions(shots=4),
+        )[0]
+        assert set(result.values) == set(OBS)
+        assert result.realizations == 2
+
+    def test_bit_target_tasks_and_name_lookup(self, chain4):
+        circ = Circuit(4)
+        circ.h(0)
+        batch = run(
+            [
+                Task(circ, bit_targets={"f": {0: 0}}, seed=3, name="plus"),
+                Task(Circuit(4), bit_targets={"f": {0: 0}}, seed=3, name="idle"),
+            ],
+            chain4,
+            options=SimOptions(shots=16),
+        )
+        assert batch["idle"].values["f"] == pytest.approx(1.0, abs=0.1)
+        assert batch["plus"].values["f"] == pytest.approx(0.5, abs=0.3)
+        with pytest.raises(KeyError):
+            batch["missing"]
+
+    def test_shots_override_per_task(self, chain4):
+        circ = layered_circuit()
+        batch = run(
+            Task(circ, observables=OBS, shots=3),
+            chain4,
+            options=SimOptions(shots=64, seed=0),
+        )
+        assert batch[0].shots == 3
+
+    def test_density_backend_matches_density_expectations(self, chain2):
+        circ = Circuit(2)
+        circ.h(0)
+        circ.cx(0, 1, new_moment=True)
+        result = run(
+            Task(circ, observables={"zz": "ZZ"}), chain2, backend="density"
+        )[0]
+        ref = density_expectations(circ, chain2, {"zz": "ZZ"})
+        assert result.values["zz"] == pytest.approx(ref["zz"], abs=1e-12)
+        assert result.errors["zz"] == 0.0
+        assert result.shots == 0
+
+    def test_density_collapses_deterministic_realizations(self, chain2):
+        """An exact backend ignores seeds, so repeating a deterministic
+        pipeline's realizations is pure waste — the batcher collapses them."""
+        circ = Circuit(2)
+        circ.h(0)
+        circ.cx(0, 1, new_moment=True)
+        pipeline = Pipeline([CAEC()])
+        many = run(
+            Task(circ, observables={"zz": "ZZ"}, pipeline=pipeline,
+                 realizations=8, seed=0),
+            chain2,
+            backend="density",
+        )[0]
+        once = run(
+            Task(circ, observables={"zz": "ZZ"}, pipeline=pipeline, seed=0),
+            chain2,
+            backend="density",
+        )[0]
+        assert many.values == once.values
+        assert many.realizations == 1
+
+    def test_batch_metadata(self, chain4):
+        batch = run(
+            [Task(layered_circuit(), observables=OBS, seed=k) for k in range(2)],
+            chain4,
+            options=SimOptions(shots=2),
+            workers=2,
+        )
+        assert len(batch) == 2
+        assert batch.workers == 2
+        assert batch.wall_time > 0.0
+        assert batch.shots == 4
+        assert all(isinstance(r, TaskResult) for r in batch)
+        assert "BatchResult" in repr(batch)
+        assert "TaskResult" in repr(batch[0])
+
+
+class TestResultErgonomics:
+    def test_simresult_mapping_protocol(self, chain4):
+        result = expectation_values(
+            layered_circuit(), chain4, OBS, SimOptions(shots=4, seed=2)
+        )
+        assert len(result) == 2
+        assert set(result) == set(OBS)
+        assert "x2" in result
+        assert dict(result.items()) == result.values
+        assert result.error("x2") == result.errors["x2"]
+        assert "±" in repr(result)
+
+
+class TestNormGuards:
+    def test_no_jump_with_full_excitation_decays(self):
+        """gamma = 1 on |1>: the no-jump branch has zero weight; the guard
+        must route to the decay jump instead of dividing by zero."""
+        from repro.sim import StateVector
+        from repro.sim.executor import _apply_no_jump
+
+        state = StateVector(1)
+        state.apply_pauli("X", 0)  # |1>
+        _apply_no_jump(state, 0, 1.0)
+        assert np.all(np.isfinite(state.vector))
+        assert state.probability_one(0) == pytest.approx(0.0)
+
+    def test_decay_jump_without_excitation_is_safe(self):
+        from repro.sim import StateVector
+        from repro.sim.executor import _apply_decay_jump
+
+        state = StateVector(1)  # |0>: no |1> amplitude to project
+        _apply_decay_jump(state, 0)
+        assert np.all(np.isfinite(state.vector))
+        assert np.linalg.norm(state.vector) == pytest.approx(1.0)
