@@ -1,0 +1,148 @@
+"""Backend throughput benchmark: scalar trajectory vs vectorized batches.
+
+Times the same seeded workloads on ``backend="trajectory"`` and
+``backend="vectorized"`` and writes ``BENCH_backends.json``:
+
+* the fig. 3 Ramsey workload (case I, staggered DD) at 1024 shots — the
+  acceptance workload for the vectorized engine's >=3x throughput target;
+* layered CX chains across qubit counts and shot counts, showing how the
+  speedup scales with state size and batch size.
+
+Every run also cross-checks that the two backends return bit-identical
+values, so the benchmark doubles as an end-to-end parity check.
+
+Usage::
+
+    python benchmarks/bench_backends.py            # full sweep
+    python benchmarks/bench_backends.py --quick    # CI smoke (seconds)
+    python benchmarks/bench_backends.py --output out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro import Circuit, SimOptions, Task, run
+from repro.benchmarking.ramsey import CASE_I, ramsey_task
+from repro.device.calibration import synthetic_device
+from repro.device.topology import linear_chain
+
+BACKENDS = ("trajectory", "vectorized")
+
+
+def layered_chain(num_qubits: int, layers: int = 4) -> Circuit:
+    circ = Circuit(num_qubits)
+    for q in range(num_qubits):
+        circ.h(q, new_moment=(q == 0))
+    for _ in range(layers):
+        for start in (0, 1):
+            circ.append_moment([])
+            for a in range(start, num_qubits - 1, 2):
+                circ.cx(a, a + 1, new_moment=(a == start))
+            circ.append_moment([])
+    return circ
+
+
+def time_backends(task: Task, device, options: SimOptions) -> Dict:
+    timings: Dict[str, float] = {}
+    values: Dict[str, Dict[str, float]] = {}
+    for backend in BACKENDS:
+        start = time.perf_counter()
+        result = run(task, device, options=options, backend=backend)[0]
+        timings[backend] = time.perf_counter() - start
+        values[backend] = dict(result.values)
+    shots = (task.shots or options.shots) * max(task.realizations, 1)
+    return {
+        "shots": shots,
+        "seconds": {b: round(timings[b], 4) for b in BACKENDS},
+        "shots_per_second": {
+            b: round(shots / timings[b], 1) for b in BACKENDS
+        },
+        "speedup": round(timings["trajectory"] / timings["vectorized"], 2),
+        "bit_identical": values["trajectory"] == values["vectorized"],
+    }
+
+
+def bench_fig3_ramsey(shots: int) -> Dict:
+    device = synthetic_device(
+        linear_chain(CASE_I.num_qubits), name="bench_fig3", seed=1003
+    )
+    task = ramsey_task(CASE_I, device, depth=16, strategy="staggered_dd", seed=1)
+    entry = {
+        "workload": "fig3_ramsey_case1",
+        "num_qubits": CASE_I.num_qubits,
+        "depth": 16,
+    }
+    entry.update(time_backends(task, device, SimOptions(shots=shots)))
+    return entry
+
+
+def bench_layered(num_qubits: int, shots: int) -> Dict:
+    device = synthetic_device(
+        linear_chain(num_qubits), name=f"bench_chain{num_qubits}", seed=500 + num_qubits
+    )
+    observables = {"z0": "I" * (num_qubits - 1) + "Z"}
+    task = Task(layered_chain(num_qubits), observables=observables, seed=7)
+    entry = {"workload": "layered_chain", "num_qubits": num_qubits}
+    entry.update(time_backends(task, device, SimOptions(shots=shots)))
+    return entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced sweep for CI smoke runs"
+    )
+    parser.add_argument(
+        "--output", default="BENCH_backends.json", help="where to write the JSON"
+    )
+    args = parser.parse_args(argv)
+
+    ramsey_shots = 1024
+    sweep = (
+        [(2, 256), (4, 256)]
+        if args.quick
+        else [(2, 1024), (4, 1024), (6, 1024), (8, 512), (10, 256)]
+    )
+
+    results: List[Dict] = []
+    entry = bench_fig3_ramsey(ramsey_shots)
+    results.append(entry)
+    print(
+        f"{entry['workload']:>22s} n={entry['num_qubits']} shots={entry['shots']}: "
+        f"{entry['speedup']}x ({entry['shots_per_second']['vectorized']:,.0f} vs "
+        f"{entry['shots_per_second']['trajectory']:,.0f} shots/s, "
+        f"bit_identical={entry['bit_identical']})"
+    )
+    for num_qubits, shots in sweep:
+        entry = bench_layered(num_qubits, shots)
+        results.append(entry)
+        print(
+            f"{entry['workload']:>22s} n={num_qubits} shots={entry['shots']}: "
+            f"{entry['speedup']}x ({entry['shots_per_second']['vectorized']:,.0f} vs "
+            f"{entry['shots_per_second']['trajectory']:,.0f} shots/s, "
+            f"bit_identical={entry['bit_identical']})"
+        )
+
+    payload = {
+        "benchmark": "trajectory-vs-vectorized backend throughput",
+        "quick": args.quick,
+        "results": results,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    if not all(r["bit_identical"] for r in results):
+        print("ERROR: backends disagree", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

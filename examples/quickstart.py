@@ -3,7 +3,9 @@
 Builds a 4-qubit circuit with two entangling layers (leaving idle neighbors
 each time — the context that breeds correlated ZZ errors), then compares
 the uncompensated result against each compilation strategy from the paper
-using the batched runtime: one ``run()`` call executes every strategy,
+using the batched runtime: one ``run()`` call executes every strategy on
+the vectorized backend (all shots of a task evolve as one batched array —
+bit-for-bit identical to the scalar ``trajectory`` backend, just faster),
 fanned out across worker threads, with seed-for-seed deterministic results.
 
 Run:  python examples/quickstart.py
@@ -58,6 +60,7 @@ batch = run(
     ],
     device,
     options=SimOptions(shots=32),
+    backend="vectorized",  # same bits as "trajectory", batched evolution
     workers=4,
 )
 for strategy in strategies:

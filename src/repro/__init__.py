@@ -90,6 +90,7 @@ from .runtime import (
     Task,
     TaskResult,
     Twirl,
+    VectorizedBackend,
     get_backend,
     pipeline_for,
     register_backend,
@@ -105,7 +106,7 @@ from .sim import (
     expectation_values,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Circuit",
@@ -152,6 +153,7 @@ __all__ = [
     "StaggeredDD",
     "CADD",
     "CAEC",
+    "VectorizedBackend",
     "get_backend",
     "pipeline_for",
     "register_backend",

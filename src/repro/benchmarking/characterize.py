@@ -30,7 +30,8 @@ import numpy as np
 
 from ..circuits.circuit import Circuit
 from ..device.calibration import Device, PairParams
-from ..sim.executor import SimOptions, expectation_values
+from ..runtime import Task, run
+from ..sim.executor import SimOptions
 from ..utils.units import TWO_PI
 
 Edge = Tuple[int, int]
@@ -43,12 +44,11 @@ def _phase_of(device: Device, circuit: Circuit, probe: int, options: SimOptions)
     label_y = ["I"] * n
     label_x[n - 1 - probe] = "X"
     label_y[n - 1 - probe] = "Y"
-    res = expectation_values(
-        circuit,
+    res = run(
+        Task(circuit, observables={"x": "".join(label_x), "y": "".join(label_y)}),
         device,
-        {"x": "".join(label_x), "y": "".join(label_y)},
-        options,
-    )
+        options=options,
+    ).results[0]
     return math.atan2(res["y"], res["x"])
 
 

@@ -148,7 +148,7 @@ def measure_layer_fidelity(
     samples: int = 6,
     options: Optional[SimOptions] = None,
     seed: SeedLike = 0,
-    backend="trajectory",
+    backend=None,
     workers: Optional[int] = None,
 ) -> LayerFidelityResult:
     """Run the layer-fidelity protocol for one strategy.

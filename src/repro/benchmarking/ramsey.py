@@ -149,7 +149,7 @@ def ramsey_fidelity(
     realizations: int = 1,
     options: Optional[SimOptions] = None,
     seed: SeedLike = 0,
-    backend="trajectory",
+    backend=None,
     workers: Optional[int] = None,
 ) -> float:
     """Average probability that all probe qubits return to ``|0>``."""
@@ -172,7 +172,7 @@ def ramsey_curve(
     realizations: int = 1,
     options: Optional[SimOptions] = None,
     seed: SeedLike = 0,
-    backend="trajectory",
+    backend=None,
     workers: Optional[int] = None,
 ) -> List[float]:
     """Ramsey fidelity versus depth for one strategy, as one batched run."""

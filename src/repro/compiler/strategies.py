@@ -93,8 +93,16 @@ def compile_circuit(
         Thin wrapper over :func:`repro.runtime.pipeline_for`; build a
         :class:`repro.runtime.Pipeline` directly for new code.
     """
+    import warnings
+
     from ..runtime.pipeline import pipeline_for  # local: avoids import cycle
 
+    warnings.warn(
+        "compile_circuit is deprecated since repro 1.1; build a pipeline via "
+        "repro.runtime.pipeline_for (or compose passes) and call .compile()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     pipeline = pipeline_for(
         strategy,
         planner_durations=planner_durations,
@@ -113,17 +121,16 @@ def realization_factory(
     orient: bool = False,
 ) -> Callable[[np.random.Generator], Circuit]:
     """A callable producing fresh twirl realizations, for the executor."""
-    strategy = get_strategy(strategy)
+    from ..runtime.pipeline import pipeline_for  # local: avoids import cycle
+
+    pipeline = pipeline_for(
+        get_strategy(strategy),
+        planner_durations=planner_durations,
+        min_dd_duration=min_dd_duration,
+        orient=orient,
+    )
 
     def factory(rng: np.random.Generator) -> Circuit:
-        return compile_circuit(
-            circuit,
-            device,
-            strategy,
-            seed=rng,
-            planner_durations=planner_durations,
-            min_dd_duration=min_dd_duration,
-            orient=orient,
-        )
+        return pipeline.compile(circuit, device, seed=rng)
 
     return factory

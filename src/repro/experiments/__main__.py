@@ -10,7 +10,10 @@ Usage::
 ``--quick`` shrinks shot counts and sweeps so each experiment finishes in
 seconds (useful for smoke-checking an install); default parameters match
 the benchmark harness. ``--workers N`` fans each experiment's batched
-simulations out over N threads (results are identical for any N).
+simulations out over N threads and ``--backend`` selects the simulation
+engine (``vectorized`` batches all shots of a task through whole-array
+NumPy ops; results are identical to ``trajectory`` for any backend/worker
+choice, only the wall time changes).
 """
 
 from __future__ import annotations
@@ -155,14 +158,24 @@ def main(argv=None) -> int:
         metavar="N",
         help="simulation threads per batched run (deterministic for any N)",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="simulation backend: trajectory (default), vectorized "
+        "(batched, bit-identical, faster), or density (exact)",
+    )
     args = parser.parse_args(argv)
 
-    if args.workers is not None:
-        if args.workers < 1:
-            parser.error("--workers must be >= 1")
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if args.workers is not None or args.backend is not None:
         from ..runtime import configure
 
-        configure(workers=args.workers)
+        try:
+            configure(workers=args.workers, backend=args.backend)
+        except ValueError as exc:
+            parser.error(str(exc))
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

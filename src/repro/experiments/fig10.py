@@ -42,7 +42,7 @@ def run_fig10(
     shots: int = 24,
     realizations: int = 6,
     seed: int = 7001,
-    backend="trajectory",
+    backend=None,
     workers: Optional[int] = None,
 ) -> Fig10Result:
     device = floquet6_device(seed=seed)

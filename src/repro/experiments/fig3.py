@@ -55,7 +55,7 @@ def run_fig3(
     realizations: int = 8,
     seed: int = 1001,
     cases: Sequence[str] = tuple(CASES),
-    backend="trajectory",
+    backend=None,
     workers: Optional[int] = None,
 ) -> Fig3Result:
     """Run all Ramsey contexts; depths should be even (case IV self-inverts).

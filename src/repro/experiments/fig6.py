@@ -39,7 +39,7 @@ def run_fig6(
     shots: int = 24,
     realizations: int = 6,
     seed: int = 3001,
-    backend="trajectory",
+    backend=None,
     workers: Optional[int] = None,
 ) -> Fig6Result:
     device = ising_device(num_qubits, seed=seed)

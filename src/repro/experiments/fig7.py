@@ -61,7 +61,7 @@ def run_fig7(
     realizations: int = 5,
     seed: int = 4001,
     coupling: float = 1.2,
-    backend="trajectory",
+    backend=None,
     workers: Optional[int] = None,
 ) -> Fig7Result:
     device = heisenberg_device(num_qubits, seed=seed)

@@ -86,7 +86,7 @@ def run_fig8(
     shots: int = 12,
     seed: int = 5001,
     strategies: Sequence[str] = STRATEGIES,
-    backend="trajectory",
+    backend=None,
     workers: Optional[int] = None,
 ) -> Fig8Result:
     device = fig8_device(seed)

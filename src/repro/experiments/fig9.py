@@ -66,7 +66,7 @@ def run_fig9(
     true_feedforward: float = 1150.0,
     shots: int = 160,
     seed: int = 6001,
-    backend="trajectory",
+    backend=None,
     workers: Optional[int] = None,
 ) -> Fig9Result:
     if estimates is None:

@@ -26,12 +26,13 @@ from .backends import (
     Backend,
     DensityBackend,
     TrajectoryBackend,
+    VectorizedBackend,
     get_backend,
     register_backend,
 )
 from .passes import CADD, CAEC, AlignedDD, Orient, Pass, PassContext, StaggeredDD, Twirl
 from .pipeline import IDENTITY, Pipeline, as_pipeline, pipeline_for
-from .run import configure, default_workers, run
+from .run import configure, default_backend, default_workers, run
 from .task import BatchResult, Task, TaskResult
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "Backend",
     "DensityBackend",
     "TrajectoryBackend",
+    "VectorizedBackend",
     "get_backend",
     "register_backend",
     "CADD",
@@ -54,6 +56,7 @@ __all__ = [
     "as_pipeline",
     "pipeline_for",
     "configure",
+    "default_backend",
     "default_workers",
     "run",
     "BatchResult",

@@ -6,12 +6,17 @@ implementations ship with the library:
 
 * ``"trajectory"`` — the Monte-Carlo trajectory executor
   (:class:`repro.sim.Executor`); statistical errors shrink with ``shots``.
+* ``"vectorized"`` — the batched trajectory engine
+  (:class:`repro.sim.VectorizedExecutor`): all shots evolve together along
+  the leading axis of one ``(shots, 2**n)`` array, sharded into
+  bounded-memory chunks across ``workers``; bit-for-bit equal to
+  ``"trajectory"`` for any seed and any worker/chunk configuration.
 * ``"density"`` — the exact density-matrix simulator
   (:class:`repro.sim.DensityExecutor`); zero-variance values for small
   systems (``shots`` is ignored and reported as 0).
 
 Select one by name (``backend="trajectory"``) or register your own
-(vectorized, sharded, hardware-facing, ...) with :func:`register_backend`.
+(GPU, distributed, hardware-facing, ...) with :func:`register_backend`.
 
 The shared batching machinery compiles every realization *sequentially* on
 the caller's thread — preserving the exact RNG draw order of the legacy
@@ -24,6 +29,7 @@ across all their realizations.
 
 from __future__ import annotations
 
+import inspect
 import math
 import time
 from abc import ABC, abstractmethod
@@ -38,6 +44,7 @@ from ..device.calibration import Device
 from ..pauli.pauli import Pauli
 from ..sim.density import DensityExecutor
 from ..sim.executor import Executor, SimOptions, SimResult
+from ..sim.vectorized import VectorizedExecutor
 from ..utils.rng import SeedLike, as_generator
 from .pipeline import as_pipeline
 from .task import CircuitLike, Task, TaskResult
@@ -162,6 +169,14 @@ class Backend(ABC):
         options: SimOptions,
         workers: int,
     ) -> List[Tuple[SimResult, float]]:
+        # One unit: backends that can shard *within* a simulation (the
+        # vectorized engine's chunked shot axis) get the whole budget.
+        # Backends written against the pre-1.2 _execute signature (no
+        # ``workers``) keep working: the keyword is only passed when the
+        # implementation accepts it.
+        unit_workers = workers if len(units) == 1 else 1
+        takes_workers = "workers" in inspect.signature(self._execute).parameters
+
         def job(unit: _Unit) -> Tuple[SimResult, float]:
             start = time.perf_counter()
             engine = unit.engine
@@ -171,7 +186,12 @@ class Backend(ABC):
                 )
             kind, payload = payloads[unit.task_index]
             shots = tasks[unit.task_index].shots
-            result = self._execute(engine, kind, payload, shots, unit.seed)
+            if takes_workers:
+                result = self._execute(
+                    engine, kind, payload, shots, unit.seed, workers=unit_workers
+                )
+            else:
+                result = self._execute(engine, kind, payload, shots, unit.seed)
             return result, time.perf_counter() - start
 
         if workers > 1 and len(units) > 1:
@@ -234,8 +254,13 @@ class Backend(ABC):
         payload: Dict,
         shots: Optional[int],
         seed: SeedLike,
+        workers: int = 1,
     ) -> SimResult:
-        """Run one seeded simulation and return a ``SimResult``."""
+        """Run one seeded simulation and return a ``SimResult``.
+
+        ``workers`` is the thread budget a backend may use to shard the
+        simulation internally (results must not depend on it).
+        """
 
 
 class TrajectoryBackend(Backend):
@@ -246,10 +271,38 @@ class TrajectoryBackend(Backend):
     def _make_engine(self, scheduled, device, options) -> Executor:
         return Executor(scheduled, device, options)
 
-    def _execute(self, engine, kind, payload, shots, seed) -> SimResult:
+    def _execute(self, engine, kind, payload, shots, seed, workers=1) -> SimResult:
         if kind == "expectations":
             return engine.expectations(payload, shots=shots, seed=seed)
         return engine.probabilities(payload, shots=shots, seed=seed)
+
+
+class VectorizedBackend(Backend):
+    """Batched trajectories via :class:`repro.sim.VectorizedExecutor`.
+
+    Seed-for-seed bit-identical to :class:`TrajectoryBackend`: the same
+    noise draws are consumed from the same streams in the same order, and
+    every batched floating-point operation reproduces the scalar bits.
+    ``chunk_shots`` bounds the states resident per chunk (``None``
+    auto-sizes); any chunk/worker configuration yields the same values.
+    """
+
+    name = "vectorized"
+
+    def __init__(self, chunk_shots: Optional[int] = None):
+        self.chunk_shots = chunk_shots
+
+    def _make_engine(self, scheduled, device, options) -> VectorizedExecutor:
+        return VectorizedExecutor(
+            scheduled, device, options, chunk_shots=self.chunk_shots
+        )
+
+    def _execute(self, engine, kind, payload, shots, seed, workers=1) -> SimResult:
+        if kind == "expectations":
+            return engine.expectations(
+                payload, shots=shots, seed=seed, workers=workers
+            )
+        return engine.probabilities(payload, shots=shots, seed=seed, workers=workers)
 
 
 class DensityBackend(Backend):
@@ -267,7 +320,7 @@ class DensityBackend(Backend):
     def _make_engine(self, scheduled, device, options) -> DensityExecutor:
         return DensityExecutor(scheduled, device, options)
 
-    def _execute(self, engine, kind, payload, shots, seed) -> SimResult:
+    def _execute(self, engine, kind, payload, shots, seed, workers=1) -> SimResult:
         if kind == "expectations":
             values = engine.expectations(payload)
         else:
@@ -311,4 +364,5 @@ def get_backend(spec: BackendLike) -> Backend:
 
 
 register_backend("trajectory", TrajectoryBackend)
+register_backend("vectorized", VectorizedBackend)
 register_backend("density", DensityBackend)

@@ -33,44 +33,58 @@ from ..sim.executor import SimOptions
 from .backends import BackendLike, get_backend
 from .task import BatchResult, Task
 
-_DEFAULTS = {"workers": 1}
+_DEFAULTS = {"workers": 1, "backend": "trajectory"}
 
 
-def configure(workers: Optional[int] = None) -> None:
-    """Set process-wide runtime defaults (used when ``run(workers=None)``).
+def configure(
+    workers: Optional[int] = None, backend: Optional[BackendLike] = None
+) -> None:
+    """Set process-wide runtime defaults (used when ``run(...=None)``).
 
-    The CLI's ``--workers`` flag calls this so every experiment driver
-    inherits the parallelism without plumbing a parameter through.
+    The CLI's ``--workers`` / ``--backend`` flags call this so every
+    experiment driver inherits the parallelism and engine choice without
+    plumbing parameters through.
     """
+    # Validate everything before mutating anything, so a failed configure()
+    # never leaves partially-updated defaults behind.
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be >= 1")
+    if backend is not None:
+        get_backend(backend)  # fail at configure time, not first run()
     if workers is not None:
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
         _DEFAULTS["workers"] = int(workers)
+    if backend is not None:
+        _DEFAULTS["backend"] = backend
 
 
 def default_workers() -> int:
     return _DEFAULTS["workers"]
 
 
+def default_backend() -> BackendLike:
+    return _DEFAULTS["backend"]
+
+
 def run(
     tasks: Union[Task, Sequence[Task]],
     device: Optional[Device] = None,
-    backend: BackendLike = "trajectory",
+    backend: Optional[BackendLike] = None,
     options: Optional[SimOptions] = None,
     workers: Optional[int] = None,
 ) -> BatchResult:
     """Execute one or more tasks on a backend; results keep task order.
 
     ``device`` is the default for tasks that don't carry their own.
-    ``backend`` is a registered name (``"trajectory"``, ``"density"``) or a
-    :class:`~repro.runtime.backends.Backend` instance. ``workers=N`` fans
-    the simulations out over N threads (``None`` uses the configured
-    default).
+    ``backend`` is a registered name (``"trajectory"``, ``"vectorized"``,
+    ``"density"``) or a :class:`~repro.runtime.backends.Backend` instance;
+    ``None`` uses the configured default (``"trajectory"`` unless
+    :func:`configure` changed it). ``workers=N`` fans the simulations out
+    over N threads (``None`` uses the configured default).
     """
     if isinstance(tasks, Task):
         tasks = [tasks]
     task_list: List[Task] = list(tasks)
-    engine = get_backend(backend)
+    engine = get_backend(backend if backend is not None else default_backend())
     count = default_workers() if workers is None else int(workers)
     if count < 1:
         raise ValueError("workers must be >= 1")

@@ -24,8 +24,10 @@ from .readout import (
     invert_confusion,
     sample_counts,
 )
-from .statevector import StateVector
+from .sampling import NoisePlan, ShotNoise, build_noise_plan, sample_shot
+from .statevector import StateVector, vector_norm
 from .timeline import MomentTimeline, build_timeline, pair_sign_integral, sign_integral
+from .vectorized import VectorizedExecutor
 
 __all__ = [
     "DensityExecutor",
@@ -48,6 +50,12 @@ __all__ = [
     "bit_probabilities",
     "expectation_values",
     "StateVector",
+    "vector_norm",
+    "NoisePlan",
+    "ShotNoise",
+    "build_noise_plan",
+    "sample_shot",
+    "VectorizedExecutor",
     "MomentTimeline",
     "build_timeline",
     "pair_sign_integral",

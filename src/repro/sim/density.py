@@ -38,7 +38,8 @@ from ..circuits.schedule import ScheduledCircuit, schedule
 from ..device.calibration import Device
 from ..pauli.pauli import Pauli
 from .coherent import CoherentAccumulation, accumulate_coherent
-from .executor import SimOptions, _dephasing_prob
+from .executor import SimOptions
+from .sampling import _dephasing_prob
 from .statevector import _sz_arrays
 from .timeline import MomentTimeline, build_timeline
 

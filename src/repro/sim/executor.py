@@ -20,6 +20,7 @@ assignment errors is available for probability-type experiments.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -31,14 +32,16 @@ from ..device.calibration import Device
 from ..pauli.pauli import Pauli
 from ..utils.rng import SeedLike, as_generator
 from .coherent import CoherentAccumulation, accumulate_coherent
-from .statevector import StateVector
+from .sampling import (
+    _PAULI_1Q,
+    _PAULI_2Q,
+    NoisePlan,
+    ShotNoise,
+    build_noise_plan,
+    sample_shot,
+)
+from .statevector import StateVector, vector_norm
 from .timeline import MomentTimeline, build_timeline
-
-_VIRTUAL = {"rz", "z", "s", "sdg", "t", "id"}
-_PAULI_1Q = ("X", "Y", "Z")
-_PAULI_2Q = [
-    (a, b) for a in ("I", "X", "Y", "Z") for b in ("I", "X", "Y", "Z")
-][1:]
 
 
 @dataclass(frozen=True)
@@ -100,28 +103,6 @@ class SimResult:
         return f"{type(self).__name__}({body}, shots={self.shots})"
 
 
-def _sample_detunings(device: Device, rng: np.random.Generator) -> np.ndarray:
-    """Per-shot quasi-static detuning + random-sign charge parity (GHz)."""
-    n = device.num_qubits
-    out = np.zeros(n)
-    for q in range(n):
-        params = device.qubit(q)
-        if params.quasistatic_sigma > 0.0:
-            out[q] += rng.normal(0.0, params.quasistatic_sigma)
-        if params.parity_delta > 0.0:
-            out[q] += params.parity_delta * (1 if rng.random() < 0.5 else -1)
-    return out
-
-
-def _dephasing_prob(t2: float, t1: float, duration: float) -> float:
-    """Z-flip probability over ``duration`` from pure dephasing."""
-    if duration <= 0.0 or not math.isfinite(t2):
-        return 0.0
-    inv_tphi = 1.0 / t2 - 1.0 / (2.0 * t1) if math.isfinite(t1) else 1.0 / t2
-    inv_tphi = max(inv_tphi, 0.0)
-    return 0.5 * (1.0 - math.exp(-duration * inv_tphi))
-
-
 class Executor:
     """Runs one scheduled circuit many times under sampled noise."""
 
@@ -153,33 +134,35 @@ class Executor:
             else CoherentAccumulation()
             for tl in self._timelines
         ]
+        # Every draw site, in stream order — shared with the vectorized
+        # engine, which is what keeps the two backends seed-for-seed equal.
+        self._plan: NoisePlan = build_noise_plan(scheduled, device, self.options)
 
     # -- single trajectory ---------------------------------------------------
 
     def _run_trajectory(
         self, rng: np.random.Generator
     ) -> Tuple[StateVector, List[int]]:
+        return self._evolve(sample_shot(self._plan, rng))
+
+    def _evolve(self, noise: ShotNoise) -> Tuple[StateVector, List[int]]:
+        """Evolve one trajectory from its pre-sampled noise record."""
         opts = self.options
         n = self.scheduled.num_qubits
         state = StateVector(n)
         clbits = [0] * self.scheduled.circuit.num_clbits
-        detunings = (
-            _sample_detunings(self.device, rng)
-            if (opts.stochastic and opts.coherent)
-            else None
-        )
+        detunings = noise.detunings
 
-        for sm, timeline, static_acc in zip(
-            self.scheduled, self._timelines, self._static_acc
+        for m, (sm, timeline, static_acc) in enumerate(
+            zip(self.scheduled, self._timelines, self._static_acc)
         ):
             moment = sm.moment
+            plan = self._plan.moments[m]
             # 1. measurements collapse first; idle neighbors then accumulate
             # (conditional) phase with the collapsed qubit for the rest of
             # the readout window.
-            for inst in moment:
-                if inst.gate.is_measurement:
-                    outcome = state.measure(inst.qubits[0], rng)
-                    clbits[inst.clbits[0]] = outcome
+            for j, (qubit, clbit) in enumerate(plan.measured):
+                clbits[clbit] = state.measure(qubit, u=noise.measure_u[m][j])
 
             # 2. coherent phases
             if opts.coherent:
@@ -196,22 +179,20 @@ class Executor:
                             )
                 state.apply_phases(acc)
 
-            # 3. stochastic dephasing / damping
-            if sm.duration > 0.0:
-                for q in range(n):
-                    params = self.device.qubit(q)
-                    if opts.dephasing:
-                        p_z = _dephasing_prob(params.t2, params.t1, sm.duration)
-                        if p_z > 0.0 and rng.random() < p_z:
-                            state.apply_pauli("Z", q)
-                    if opts.amplitude_damping and math.isfinite(params.t1):
-                        gamma = 1.0 - math.exp(-sm.duration / params.t1)
-                        if gamma > 0.0:
-                            p_jump = gamma * state.probability_one(q)
-                            if rng.random() < p_jump:
-                                _apply_decay_jump(state, q)
-                            else:
-                                _apply_no_jump(state, q, gamma)
+            # 3. stochastic dephasing / damping (per-qubit interleave)
+            flip_at = damp_at = 0
+            for q, p_z, gamma in plan.idles:
+                if p_z > 0.0:
+                    if noise.idle_flips[m][flip_at]:
+                        state.apply_pauli("Z", q)
+                    flip_at += 1
+                if gamma > 0.0:
+                    p_jump = gamma * state.probability_one(q)
+                    if noise.idle_u[m][damp_at] < p_jump:
+                        _apply_decay_jump(state, q)
+                    else:
+                        _apply_no_jump(state, q, gamma)
+                    damp_at += 1
 
             # 4. ideal unitaries
             for inst in moment:
@@ -226,33 +207,18 @@ class Executor:
                     state.apply_gate(gate.matrix, inst.qubits)
 
             # 5. gate errors
-            if opts.gate_errors:
-                self._apply_gate_errors(state, moment, rng)
+            for site, draws in zip(plan.gate_errors, noise.gate_paulis[m]):
+                for code in draws:
+                    if code is None:
+                        continue
+                    if site.two_qubit:
+                        pa, pb = _PAULI_2Q[code]
+                        state.apply_pauli(pa, site.qubits[0])
+                        state.apply_pauli(pb, site.qubits[1])
+                    else:
+                        state.apply_pauli(_PAULI_1Q[code], site.qubits[0])
 
         return state, clbits
-
-    def _apply_gate_errors(self, state, moment, rng) -> None:
-        for inst in moment:
-            gate = inst.gate
-            if gate.is_measurement or gate.is_delay:
-                continue
-            if gate.num_qubits == 2:
-                p2 = self.device.pair_error(*inst.qubits) * gate.error_scale
-                if p2 > 0.0 and rng.random() < p2:
-                    pa, pb = _PAULI_2Q[rng.integers(len(_PAULI_2Q))]
-                    state.apply_pauli(pa, inst.qubits[0])
-                    state.apply_pauli(pb, inst.qubits[1])
-            elif gate.name == "dd":
-                p1 = self.device.qubit(inst.qubits[0]).p1
-                for _ in gate.dd_fractions:
-                    if p1 > 0.0 and rng.random() < p1:
-                        state.apply_pauli(
-                            _PAULI_1Q[rng.integers(3)], inst.qubits[0]
-                        )
-            elif gate.name not in _VIRTUAL:
-                p1 = self.device.qubit(inst.qubits[0]).p1
-                if p1 > 0.0 and rng.random() < p1:
-                    state.apply_pauli(_PAULI_1Q[rng.integers(3)], inst.qubits[0])
 
     # -- aggregated runs -------------------------------------------------------
 
@@ -328,12 +294,12 @@ def _apply_decay_jump(state: StateVector, qubit: int) -> None:
     idx = np.arange(state.vector.size)
     one = ((idx >> qubit) & 1) == 1
     amp = np.where(one, state.vector, 0.0)
-    norm = np.linalg.norm(amp)
+    norm = vector_norm(amp)
     if norm <= 0.0:
         # The |1> amplitude underflowed: the jump branch has vanishing
         # probability, so renormalize the un-jumped state instead of
         # dividing by zero.
-        total = np.linalg.norm(state.vector)
+        total = vector_norm(state.vector)
         if total > 0.0:
             state.vector = state.vector / total
         return
@@ -347,7 +313,7 @@ def _apply_no_jump(state: StateVector, qubit: int, gamma: float) -> None:
     idx = np.arange(state.vector.size)
     one = ((idx >> qubit) & 1) == 1
     scaled = np.where(one, state.vector * math.sqrt(1.0 - gamma), state.vector)
-    norm = np.linalg.norm(scaled)
+    norm = vector_norm(scaled)
     if norm <= 0.0:
         # gamma ~ 1 with all population in |1>: the no-jump branch carries
         # zero weight, so the trajectory decays deterministically.
@@ -374,6 +340,14 @@ def _aggregate(samples: Dict[str, List[float]], count: int) -> SimResult:
 CircuitLike = Union[Circuit, ScheduledCircuit]
 
 
+def _warn_deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"{name} is deprecated since repro 1.1; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def _as_scheduled(circuit: CircuitLike, device: Device) -> ScheduledCircuit:
     if isinstance(circuit, ScheduledCircuit):
         return circuit
@@ -396,6 +370,9 @@ def expectation_values(
     """
     from ..runtime import Task, run  # local: the runtime imports this module
 
+    _warn_deprecated(
+        "expectation_values", "repro.runtime.run(Task(circuit, observables=...))"
+    )
     return run(
         Task(circuit, observables=observables), device, options=options
     ).results[0]
@@ -415,6 +392,9 @@ def bit_probabilities(
     """
     from ..runtime import Task, run  # local: the runtime imports this module
 
+    _warn_deprecated(
+        "bit_probabilities", "repro.runtime.run(Task(circuit, bit_targets=...))"
+    )
     return run(Task(circuit, bit_targets=targets), device, options=options).results[0]
 
 
@@ -438,6 +418,10 @@ def average_over_realizations(
     """
     from ..runtime import Task, run  # local: the runtime imports this module
 
+    _warn_deprecated(
+        "average_over_realizations",
+        "repro.runtime.run(Task(..., pipeline=..., realizations=N))",
+    )
     task = Task(
         factory=factory,
         observables=observables,

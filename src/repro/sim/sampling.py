@@ -1,0 +1,218 @@
+"""Shared stochastic-noise sampling, factored out of the trajectory executor.
+
+The Monte-Carlo executor consumes its RNG stream in a fixed, state-independent
+order: which draws happen (and how many) depends only on the device, the
+schedule, and the noise toggles — never on the quantum state. The state only
+enters through *comparisons* against already-drawn uniforms (measurement
+collapse, amplitude-damping jumps), each of which consumes exactly one draw.
+
+That property is what makes a vectorized batch engine bit-for-bit
+reproducible: the draws of every shot can be materialized up front, in the
+exact stream order of the scalar per-shot loop, and the state evolution can
+then be applied to all shots at once.
+
+This module is the single source of truth for that stream order:
+
+* :func:`build_noise_plan` precomputes, per moment, every draw site and its
+  static probability (dephasing flips, damping windows, gate-error sites,
+  measurement collapses, per-shot detuning sources);
+* :func:`sample_shot` walks one plan with one generator and records every
+  draw of one trajectory, consuming the stream exactly like the legacy
+  in-line sampling did.
+
+Both the scalar :class:`~repro.sim.executor.Executor` and the batched
+:class:`~repro.sim.vectorized.VectorizedExecutor` sample through here, so
+``trajectory`` and ``vectorized`` results coincide seed for seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.schedule import ScheduledCircuit
+from ..device.calibration import Device
+
+_VIRTUAL = {"rz", "z", "s", "sdg", "t", "id"}
+_PAULI_1Q = ("X", "Y", "Z")
+_PAULI_2Q = [
+    (a, b) for a in ("I", "X", "Y", "Z") for b in ("I", "X", "Y", "Z")
+][1:]
+
+
+def _dephasing_prob(t2: float, t1: float, duration: float) -> float:
+    """Z-flip probability over ``duration`` from pure dephasing."""
+    if duration <= 0.0 or not math.isfinite(t2):
+        return 0.0
+    inv_tphi = 1.0 / t2 - 1.0 / (2.0 * t1) if math.isfinite(t1) else 1.0 / t2
+    inv_tphi = max(inv_tphi, 0.0)
+    return 0.5 * (1.0 - math.exp(-duration * inv_tphi))
+
+
+@dataclass(frozen=True)
+class GateErrorSite:
+    """One gate-error draw site: ``repeats`` (uniform, maybe Pauli) draws."""
+
+    qubits: Tuple[int, ...]
+    prob: float
+    two_qubit: bool
+    repeats: int = 1
+
+
+@dataclass(frozen=True)
+class MomentNoisePlan:
+    """Every draw of one moment, in stream order.
+
+    Attributes:
+        measured: ``(qubit, clbit)`` per measurement instruction, in moment
+            order; each consumes one uniform (the collapse draw).
+        idles: ``(qubit, p_z, gamma)`` per qubit with any idle noise, in
+            qubit order. ``p_z > 0`` consumes one uniform (dephasing flip),
+            then ``gamma > 0`` consumes one uniform (damping jump), exactly
+            interleaved like the scalar per-qubit loop.
+        gate_errors: draw sites for step 5, in instruction order.
+    """
+
+    measured: Tuple[Tuple[int, int], ...]
+    idles: Tuple[Tuple[int, float, float], ...]
+    gate_errors: Tuple[GateErrorSite, ...]
+
+
+@dataclass(frozen=True)
+class NoisePlan:
+    """All draw sites of one scheduled circuit under one set of options."""
+
+    num_qubits: int
+    #: per-qubit ``(quasistatic_sigma, parity_delta)``, or ``None`` when
+    #: per-shot detunings are not sampled (stochastic/coherent off).
+    detunings: Optional[Tuple[Tuple[float, float], ...]]
+    moments: Tuple[MomentNoisePlan, ...]
+
+
+@dataclass
+class ShotNoise:
+    """Every draw of one trajectory, recorded in stream order.
+
+    ``gate_paulis[m][s]`` holds, for gate-error site ``s`` of moment ``m``,
+    one entry per repeat: ``None`` (no error) or the sampled Pauli index
+    (into ``_PAULI_2Q`` for two-qubit sites, ``_PAULI_1Q`` otherwise).
+    """
+
+    detunings: Optional[np.ndarray]
+    measure_u: List[List[float]]
+    idle_flips: List[List[bool]]
+    idle_u: List[List[float]]
+    gate_paulis: List[List[Tuple[Optional[int], ...]]]
+
+
+def build_noise_plan(
+    scheduled: ScheduledCircuit, device: Device, options
+) -> NoisePlan:
+    """Precompute every draw site of ``scheduled`` under ``options``.
+
+    The plan is state-free and shot-independent, so one plan serves every
+    trajectory of an executor (and every chunk of a batched engine).
+    """
+    n = scheduled.num_qubits
+    detunings = None
+    if options.stochastic and options.coherent:
+        detunings = tuple(
+            (device.qubit(q).quasistatic_sigma, device.qubit(q).parity_delta)
+            for q in range(n)
+        )
+    moments = []
+    for sm in scheduled:
+        moment = sm.moment
+        measured = tuple(
+            (inst.qubits[0], inst.clbits[0])
+            for inst in moment
+            if inst.gate.is_measurement
+        )
+        idles: List[Tuple[int, float, float]] = []
+        if sm.duration > 0.0:
+            for q in range(n):
+                params = device.qubit(q)
+                p_z = (
+                    _dephasing_prob(params.t2, params.t1, sm.duration)
+                    if options.dephasing
+                    else 0.0
+                )
+                gamma = 0.0
+                if options.amplitude_damping and math.isfinite(params.t1):
+                    gamma = 1.0 - math.exp(-sm.duration / params.t1)
+                if p_z > 0.0 or gamma > 0.0:
+                    idles.append((q, p_z, gamma))
+        sites: List[GateErrorSite] = []
+        if options.gate_errors:
+            for inst in moment:
+                gate = inst.gate
+                if gate.is_measurement or gate.is_delay:
+                    continue
+                if gate.num_qubits == 2:
+                    p2 = device.pair_error(*inst.qubits) * gate.error_scale
+                    if p2 > 0.0:
+                        sites.append(GateErrorSite(tuple(inst.qubits), p2, True))
+                elif gate.name == "dd":
+                    p1 = device.qubit(inst.qubits[0]).p1
+                    if p1 > 0.0 and gate.dd_fractions:
+                        sites.append(
+                            GateErrorSite(
+                                (inst.qubits[0],),
+                                p1,
+                                False,
+                                repeats=len(gate.dd_fractions),
+                            )
+                        )
+                elif gate.name not in _VIRTUAL:
+                    p1 = device.qubit(inst.qubits[0]).p1
+                    if p1 > 0.0:
+                        sites.append(GateErrorSite((inst.qubits[0],), p1, False))
+        moments.append(MomentNoisePlan(measured, tuple(idles), tuple(sites)))
+    return NoisePlan(n, detunings, tuple(moments))
+
+
+def sample_shot(plan: NoisePlan, rng: np.random.Generator) -> ShotNoise:
+    """Draw one trajectory's noise record, in the scalar stream order.
+
+    Stream order per trajectory: detunings first, then per moment the
+    measurement collapses, the per-qubit dephasing/damping interleave, and
+    the gate-error sites (one uniform per repeat, plus one integer draw
+    immediately after each triggered uniform).
+    """
+    detunings = None
+    if plan.detunings is not None:
+        detunings = np.zeros(plan.num_qubits)
+        for q, (sigma, delta) in enumerate(plan.detunings):
+            if sigma > 0.0:
+                detunings[q] += rng.normal(0.0, sigma)
+            if delta > 0.0:
+                detunings[q] += delta * (1 if rng.random() < 0.5 else -1)
+    measure_u: List[List[float]] = []
+    idle_flips: List[List[bool]] = []
+    idle_u: List[List[float]] = []
+    gate_paulis: List[List[Tuple[Optional[int], ...]]] = []
+    for mp in plan.moments:
+        measure_u.append([rng.random() for _ in mp.measured])
+        flips: List[bool] = []
+        uniforms: List[float] = []
+        for _q, p_z, gamma in mp.idles:
+            if p_z > 0.0:
+                flips.append(rng.random() < p_z)
+            if gamma > 0.0:
+                uniforms.append(rng.random())
+        idle_flips.append(flips)
+        idle_u.append(uniforms)
+        sites: List[Tuple[Optional[int], ...]] = []
+        for site in mp.gate_errors:
+            high = len(_PAULI_2Q) if site.two_qubit else len(_PAULI_1Q)
+            sites.append(
+                tuple(
+                    int(rng.integers(high)) if rng.random() < site.prob else None
+                    for _ in range(site.repeats)
+                )
+            )
+        gate_paulis.append(sites)
+    return ShotNoise(detunings, measure_u, idle_flips, idle_u, gate_paulis)

@@ -25,6 +25,18 @@ def _sz_arrays(num_qubits: int) -> Tuple[np.ndarray, ...]:
     return tuple(1.0 - 2.0 * ((idx >> q) & 1) for q in range(num_qubits))
 
 
+def vector_norm(vector: np.ndarray) -> float:
+    """Euclidean norm via a pairwise ``|amp|^2`` sum.
+
+    Not ``np.linalg.norm``: the BLAS dot it calls is not bit-identical to
+    numpy's pairwise reduction, while this formulation produces the same
+    bits whether applied to one state vector or row-wise to a C-contiguous
+    ``(shots, dim)`` batch — the property the vectorized engine's
+    bit-for-bit guarantee rests on.
+    """
+    return float(np.sqrt(np.sum(np.abs(vector) ** 2)))
+
+
 class StateVector:
     """A mutable pure state of ``num_qubits`` qubits."""
 
@@ -100,13 +112,25 @@ class StateVector:
         mask = ((np.arange(self.vector.size) >> qubit) & 1).astype(bool)
         return float(np.sum(np.abs(self.vector[mask]) ** 2))
 
-    def measure(self, qubit: int, rng: np.random.Generator) -> int:
-        """Projective measurement; collapses and renormalizes the state."""
+    def measure(
+        self,
+        qubit: int,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        u: Optional[float] = None,
+    ) -> int:
+        """Projective measurement; collapses and renormalizes the state.
+
+        The collapse draw comes from ``rng``, or from a pre-sampled uniform
+        ``u`` (the batched engines sample all draws up front).
+        """
         p1 = self.probability_one(qubit)
-        outcome = 1 if rng.random() < p1 else 0
+        if u is None:
+            u = rng.random()
+        outcome = 1 if u < p1 else 0
         mask = ((np.arange(self.vector.size) >> qubit) & 1) == outcome
         self.vector = np.where(mask, self.vector, 0.0)
-        norm = np.linalg.norm(self.vector)
+        norm = vector_norm(self.vector)
         if norm < 1e-15:
             raise RuntimeError("measurement collapsed to zero norm")
         self.vector /= norm

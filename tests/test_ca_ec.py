@@ -11,6 +11,12 @@ from repro.device import linear_chain, synthetic_device
 from repro.pauli import apply_twirl
 from repro.sim import SimOptions, expectation_values, bit_probabilities
 
+# These tests exercise the deprecated pre-1.1 shims on purpose (legacy
+# equivalence coverage); downgrade their warnings from suite-wide error.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:.*deprecated since repro 1.1.*:DeprecationWarning"
+)
+
 
 @pytest.fixture
 def coh():

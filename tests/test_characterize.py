@@ -14,6 +14,12 @@ from repro.compiler import apply_ca_ec
 from repro.device import linear_chain, synthetic_device
 from repro.sim import SimOptions, expectation_values
 
+# These tests exercise the deprecated pre-1.1 shims on purpose (legacy
+# equivalence coverage); downgrade their warnings from suite-wide error.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:.*deprecated since repro 1.1.*:DeprecationWarning"
+)
+
 
 @pytest.fixture
 def device():

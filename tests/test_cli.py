@@ -31,3 +31,18 @@ class TestCLI:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+    def test_backend_flag_selects_vectorized(self, capsys):
+        from repro.runtime.run import configure, default_backend, default_workers
+
+        prev_backend, prev_workers = default_backend(), default_workers()
+        try:
+            assert main(["fig3", "--quick", "--backend", "vectorized"]) == 0
+            assert default_backend() == "vectorized"
+            assert "case1_idle_pair" in capsys.readouterr().out
+        finally:
+            configure(workers=prev_workers, backend=prev_backend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig3", "--quick", "--backend", "warp-drive"])

@@ -19,6 +19,12 @@ from repro.sim import (
 )
 from repro.sim.coherent import CoherentAccumulation
 
+# These tests exercise the deprecated pre-1.1 shims on purpose (legacy
+# equivalence coverage); downgrade their warnings from suite-wide error.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:.*deprecated since repro 1.1.*:DeprecationWarning"
+)
+
 
 class TestDensityMatrix:
     def test_initial_state(self):

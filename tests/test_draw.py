@@ -5,6 +5,12 @@ import pytest
 from repro.circuits import Circuit, draw, gates as g, summary
 from repro.circuits.circuit import Instruction
 
+# These tests exercise the deprecated pre-1.1 shims on purpose (legacy
+# equivalence coverage); downgrade their warnings from suite-wide error.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:.*deprecated since repro 1.1.*:DeprecationWarning"
+)
+
 
 class TestDraw:
     def test_simple_circuit(self):

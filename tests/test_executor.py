@@ -15,6 +15,12 @@ from repro.sim import (
     expectation_values,
 )
 
+# These tests exercise the deprecated pre-1.1 shims on purpose (legacy
+# equivalence coverage); downgrade their warnings from suite-wide error.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:.*deprecated since repro 1.1.*:DeprecationWarning"
+)
+
 
 class TestIdealExecution:
     def test_bell_state(self, chain2, ideal_options):

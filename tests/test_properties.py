@@ -28,6 +28,12 @@ from repro.device import linear_chain, synthetic_device
 from repro.sim import SimOptions, expectation_values
 from repro.utils.linalg import allclose_up_to_global_phase
 
+# These tests exercise the deprecated pre-1.1 shims on purpose (legacy
+# equivalence coverage); downgrade their warnings from suite-wide error.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:.*deprecated since repro 1.1.*:DeprecationWarning"
+)
+
 NUM_QUBITS = 4
 
 # A layered circuit description: a list of layers, each either a 1q layer

@@ -4,6 +4,12 @@ import pytest
 
 import repro
 
+# These tests exercise the deprecated pre-1.1 shims on purpose (legacy
+# equivalence coverage); downgrade their warnings from suite-wide error.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:.*deprecated since repro 1.1.*:DeprecationWarning"
+)
+
 
 class TestTopLevelExports:
     def test_all_names_resolve(self):
