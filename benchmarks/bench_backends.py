@@ -6,16 +6,28 @@ Times the same seeded workloads on ``backend="trajectory"`` and
 * the fig. 3 Ramsey workload (case I, staggered DD) at 1024 shots — the
   acceptance workload for the vectorized engine's >=3x throughput target;
 * layered CX chains across qubit counts and shot counts, showing how the
-  speedup scales with state size and batch size.
+  speedup scales with state size and batch size;
+* a cold-vs-warm plan-cache sweep (the same deterministic-pipeline grid
+  compiled twice) measuring the compile-stage speedup of the
+  content-addressed cache — the plan/execute split's acceptance workload.
 
-Every run also cross-checks that the two backends return bit-identical
-values, so the benchmark doubles as an end-to-end parity check.
+Every run also cross-checks bit-identity (trajectory vs vectorized, and
+cold vs warm cache), so the benchmark doubles as an end-to-end parity
+check. ``--check-against BASELINE`` compares the measured speedups to a
+previously committed JSON and fails on a >25% regression — speedups are
+ratios of timings on the same machine, so the gate is robust to absolute
+machine speed.
 
 Usage::
 
     python benchmarks/bench_backends.py            # full sweep
     python benchmarks/bench_backends.py --quick    # CI smoke (seconds)
-    python benchmarks/bench_backends.py --output out.json
+    python benchmarks/bench_backends.py --quick \
+        --output BENCH_current.json --check-against BENCH_backends.json
+
+The baseline is read before the output is written, so pointing both at the
+same file compares against the previous run's content — but use a separate
+--output to keep the committed baseline untouched.
 """
 
 from __future__ import annotations
@@ -26,12 +38,16 @@ import sys
 import time
 from typing import Dict, List
 
-from repro import Circuit, SimOptions, Task, run
+from repro import Circuit, SimOptions, Sweep, Task, run
 from repro.benchmarking.ramsey import CASE_I, ramsey_task
 from repro.device.calibration import synthetic_device
 from repro.device.topology import linear_chain
+from repro.runtime import PLAN_CACHE
 
 BACKENDS = ("trajectory", "vectorized")
+
+#: Max allowed speedup regression vs the committed baseline (25%).
+REGRESSION_TOLERANCE = 0.25
 
 
 def layered_chain(num_qubits: int, layers: int = 4) -> Circuit:
@@ -47,14 +63,22 @@ def layered_chain(num_qubits: int, layers: int = 4) -> Circuit:
     return circ
 
 
-def time_backends(task: Task, device, options: SimOptions) -> Dict:
-    timings: Dict[str, float] = {}
+def time_backends(task: Task, device, options: SimOptions, repeats: int = 2) -> Dict:
+    # Best-of-N timing: the gated quantity is a speedup ratio, so per-run
+    # scheduler noise must stay well under the regression tolerance.
+    timings: Dict[str, float] = {b: float("inf") for b in BACKENDS}
     values: Dict[str, Dict[str, float]] = {}
-    for backend in BACKENDS:
-        start = time.perf_counter()
-        result = run(task, device, options=options, backend=backend)[0]
-        timings[backend] = time.perf_counter() - start
-        values[backend] = dict(result.values)
+    for _ in range(repeats):
+        for backend in BACKENDS:
+            # Same cache temperature for both engines: a run would
+            # otherwise warm the plan cache for the next and bias the ratio.
+            PLAN_CACHE.clear()
+            start = time.perf_counter()
+            result = run(task, device, options=options, backend=backend)[0]
+            timings[backend] = min(
+                timings[backend], time.perf_counter() - start
+            )
+            values[backend] = dict(result.values)
     shots = (task.shots or options.shots) * max(task.realizations, 1)
     return {
         "shots": shots,
@@ -92,6 +116,107 @@ def bench_layered(num_qubits: int, shots: int) -> Dict:
     return entry
 
 
+def bench_compile_cache() -> Dict:
+    """Cold-vs-warm compile of a repeated deterministic-pipeline sweep.
+
+    The same (strategy x depth) Ramsey grid is compiled twice; the second
+    pass hits the content-addressed plan cache for every point, so the
+    compile-stage wall time collapses while every value stays bit-equal.
+    The workload is identical in quick and full modes so the committed
+    baseline's speedup is comparable from CI.
+    """
+    device = synthetic_device(
+        linear_chain(CASE_I.num_qubits), name="bench_cache", seed=1007
+    )
+    options = SimOptions(shots=8)
+
+    def sweep_batch():
+        return Sweep(
+            {
+                "strategy": ("dd", "staggered_dd", "ca_ec", "ca_ec+dd"),
+                "depth": (8, 16, 24, 32, 40),
+            },
+            lambda strategy, depth: ramsey_task(
+                CASE_I, device, depth, strategy, twirl=False, seed=1
+            ),
+            name="bench_cache",
+        ).run(options=options, backend="vectorized")
+
+    values = lambda swept: [dict(r.values) for _c, r in swept]  # noqa: E731
+    # Best-of-3 cold/warm cycles: warm compiles are milliseconds, so a
+    # single sample would be far noisier than the CI regression tolerance.
+    cold_s = warm_s = float("inf")
+    bit_identical = True
+    for _ in range(3):
+        PLAN_CACHE.clear()
+        cold = sweep_batch()
+        assert PLAN_CACHE.misses > 0 and PLAN_CACHE.hits == 0
+        warm = sweep_batch()
+        cold_s = min(cold_s, cold.compile_time)
+        warm_s = min(warm_s, warm.compile_time)
+        bit_identical = bit_identical and values(cold) == values(warm)
+    return {
+        "workload": "compile_cache",
+        "points": len(cold),
+        "compile_seconds": {"cold": round(cold_s, 4), "warm": round(warm_s, 4)},
+        "speedup": round(cold_s / warm_s, 2),
+        "cache": dict(PLAN_CACHE.stats),
+        "bit_identical": bit_identical,
+    }
+
+
+def _print_entry(entry: Dict) -> None:
+    if entry["workload"] == "compile_cache":
+        print(
+            f"{entry['workload']:>22s} {entry['points']} points: "
+            f"{entry['speedup']}x compile-stage speedup "
+            f"({entry['compile_seconds']['cold']:.3f}s cold vs "
+            f"{entry['compile_seconds']['warm']:.3f}s warm, "
+            f"bit_identical={entry['bit_identical']})"
+        )
+        return
+    print(
+        f"{entry['workload']:>22s} n={entry['num_qubits']} shots={entry['shots']}: "
+        f"{entry['speedup']}x ({entry['shots_per_second']['vectorized']:,.0f} vs "
+        f"{entry['shots_per_second']['trajectory']:,.0f} shots/s, "
+        f"bit_identical={entry['bit_identical']})"
+    )
+
+
+def _entry_key(entry: Dict) -> str:
+    if entry["workload"] == "compile_cache":
+        return "compile_cache"
+    return f"{entry['workload']}:n{entry['num_qubits']}:s{entry['shots']}"
+
+
+def check_regression(results: List[Dict], baseline: Dict[str, float]) -> bool:
+    """Compare speedups against the committed baseline; True when healthy.
+
+    Only workloads present in both files are compared (the quick sweep is a
+    subset of the full one), and each must retain at least
+    ``1 - REGRESSION_TOLERANCE`` of its baseline speedup.
+    """
+    healthy = True
+    compared = 0
+    for entry in results:
+        reference = baseline.get(_entry_key(entry))
+        if reference is None:
+            continue
+        compared += 1
+        floor = reference * (1.0 - REGRESSION_TOLERANCE)
+        status = "ok" if entry["speedup"] >= floor else "REGRESSION"
+        if entry["speedup"] < floor:
+            healthy = False
+        print(
+            f"  {_entry_key(entry):>40s}: {entry['speedup']:.2f}x vs baseline "
+            f"{reference:.2f}x (floor {floor:.2f}x) {status}"
+        )
+    if compared == 0:
+        print("  no overlapping workloads with the baseline", file=sys.stderr)
+        return False
+    return healthy
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -100,11 +225,31 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output", default="BENCH_backends.json", help="where to write the JSON"
     )
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        metavar="BASELINE",
+        help="compare speedups to this committed JSON; exit 1 on a "
+        f">{REGRESSION_TOLERANCE:.0%} regression",
+    )
     args = parser.parse_args(argv)
 
+    # Read the baseline up front: --output may point at the same file (the
+    # committed baseline), and writing first would make the comparison
+    # vacuous and destroy the reference.
+    baseline = None
+    if args.check_against:
+        with open(args.check_against) as handle:
+            baseline = {
+                _entry_key(e): e["speedup"]
+                for e in json.load(handle)["results"]
+            }
+
     ramsey_shots = 1024
+    # The quick sweep is an exact-key subset of the full one so that the
+    # committed full baseline gates every quick entry in CI.
     sweep = (
-        [(2, 256), (4, 256)]
+        [(2, 1024), (4, 1024)]
         if args.quick
         else [(2, 1024), (4, 1024), (6, 1024), (8, 512), (10, 256)]
     )
@@ -112,21 +257,14 @@ def main(argv=None) -> int:
     results: List[Dict] = []
     entry = bench_fig3_ramsey(ramsey_shots)
     results.append(entry)
-    print(
-        f"{entry['workload']:>22s} n={entry['num_qubits']} shots={entry['shots']}: "
-        f"{entry['speedup']}x ({entry['shots_per_second']['vectorized']:,.0f} vs "
-        f"{entry['shots_per_second']['trajectory']:,.0f} shots/s, "
-        f"bit_identical={entry['bit_identical']})"
-    )
+    _print_entry(entry)
     for num_qubits, shots in sweep:
         entry = bench_layered(num_qubits, shots)
         results.append(entry)
-        print(
-            f"{entry['workload']:>22s} n={num_qubits} shots={entry['shots']}: "
-            f"{entry['speedup']}x ({entry['shots_per_second']['vectorized']:,.0f} vs "
-            f"{entry['shots_per_second']['trajectory']:,.0f} shots/s, "
-            f"bit_identical={entry['bit_identical']})"
-        )
+        _print_entry(entry)
+    entry = bench_compile_cache()
+    results.append(entry)
+    _print_entry(entry)
 
     payload = {
         "benchmark": "trajectory-vs-vectorized backend throughput",
@@ -141,6 +279,11 @@ def main(argv=None) -> int:
     if not all(r["bit_identical"] for r in results):
         print("ERROR: backends disagree", file=sys.stderr)
         return 1
+    if baseline is not None:
+        print(f"regression check vs {args.check_against}:")
+        if not check_regression(results, baseline):
+            print("ERROR: benchmark regression", file=sys.stderr)
+            return 1
     return 0
 
 

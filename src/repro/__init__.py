@@ -82,15 +82,20 @@ from .runtime import (
     AlignedDD,
     Backend,
     BatchResult,
+    ExecutionPlan,
     Orient,
     Pass,
     PassContext,
     Pipeline,
+    PlanCache,
     StaggeredDD,
+    Sweep,
+    SweepResult,
     Task,
     TaskResult,
     Twirl,
     VectorizedBackend,
+    compile_tasks,
     get_backend,
     pipeline_for,
     register_backend,
@@ -106,7 +111,7 @@ from .sim import (
     expectation_values,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Circuit",
@@ -142,11 +147,16 @@ __all__ = [
     "BACKENDS",
     "Backend",
     "BatchResult",
+    "ExecutionPlan",
     "Pass",
     "PassContext",
     "Pipeline",
+    "PlanCache",
+    "Sweep",
+    "SweepResult",
     "Task",
     "TaskResult",
+    "compile_tasks",
     "Orient",
     "Twirl",
     "AlignedDD",

@@ -30,26 +30,25 @@ import numpy as np
 
 from ..circuits.circuit import Circuit
 from ..device.calibration import Device, PairParams
-from ..runtime import Task, run
+from ..runtime import Sweep, Task
 from ..sim.executor import SimOptions
 from ..utils.units import TWO_PI
 
 Edge = Tuple[int, int]
 
 
-def _phase_of(device: Device, circuit: Circuit, probe: int, options: SimOptions) -> float:
-    """Probe phase from <X> and <Y> after a Ramsey evolution (radians)."""
+def _phase_observables(device: Device, probe: int) -> Dict[str, str]:
     n = device.num_qubits
     label_x = ["I"] * n
     label_y = ["I"] * n
     label_x[n - 1 - probe] = "X"
     label_y[n - 1 - probe] = "Y"
-    res = run(
-        Task(circuit, observables={"x": "".join(label_x), "y": "".join(label_y)}),
-        device,
-        options=options,
-    ).results[0]
-    return math.atan2(res["y"], res["x"])
+    return {"x": "".join(label_x), "y": "".join(label_y)}
+
+
+def _phase(result) -> float:
+    """Probe phase from <X> and <Y> after a Ramsey evolution (radians)."""
+    return math.atan2(result.values["y"], result.values["x"])
 
 
 def _conditional_ramsey(
@@ -91,21 +90,18 @@ def measure_zz_rate(
         shots=64, seed=17, dephasing=False, amplitude_damping=False,
         gate_errors=False,
     )
+    observables = _phase_observables(device, probe)
+    swept = Sweep(
+        {"time": list(times), "excited": [False, True]},
+        lambda time, excited: Task(
+            _conditional_ramsey(device.num_qubits, probe, neighbor, time, excited),
+            observables=observables,
+        ),
+        name="zz_conditional_ramsey",
+    ).run(device, options=options)
     diffs = []
     for t in times:
-        ground = _phase_of(
-            device,
-            _conditional_ramsey(device.num_qubits, probe, neighbor, t, False),
-            probe,
-            options,
-        )
-        excited = _phase_of(
-            device,
-            _conditional_ramsey(device.num_qubits, probe, neighbor, t, True),
-            probe,
-            options,
-        )
-        delta = excited - ground
+        delta = _phase(swept[(t, True)]) - _phase(swept[(t, False)])
         while delta > math.pi:
             delta -= 2 * math.pi
         while delta < -math.pi:
@@ -140,13 +136,18 @@ def measure_spectator_shift(
         gate_errors=False,
     )
     gate_time = device.durations.twoq
-    phases = []
-    for count in chunks:
+
+    def build(count):
         circ = Circuit(device.num_qubits)
         circ.h(probe)
         for _ in range(count):
             circ.ecr(neighbor, partner, new_moment=True)
-        phases.append(_phase_of(device, circ, probe, options))
+        return Task(circ, observables=_phase_observables(device, probe))
+
+    swept = Sweep(
+        {"count": list(chunks)}, build, name="spectator_shift"
+    ).run(device, options=options)
+    phases = [_phase(swept[count]) for count in chunks]
     durations = np.asarray(chunks, dtype=float) * gate_time
     unwrapped = np.unwrap(phases)
     slope = float(

@@ -29,7 +29,7 @@ from ..circuits import gates as g
 from ..circuits.circuit import Circuit, Instruction, Moment
 from ..device.calibration import Device
 from ..pauli.pauli import Pauli
-from ..runtime import Task, pipeline_for, run
+from ..runtime import Sweep, SweepResult, Task, pipeline_for
 from ..sim.executor import SimOptions
 from ..utils.fitting import fit_exponential_decay
 from ..utils.rng import SeedLike, as_generator
@@ -138,6 +138,7 @@ class LayerFidelityResult:
     layer_fidelity: float
     gamma: float
     curves: Dict[Tuple[int, ...], List[float]] = field(default_factory=dict)
+    sweep: Optional[SweepResult] = None
 
 
 def measure_layer_fidelity(
@@ -157,17 +158,16 @@ def measure_layer_fidelity(
     times). The per-partition decay rate is normalized per single layer
     application: ``lambda_layer = rate ** (1 / 2)``.
 
-    Every ``(depth, sample)`` circuit is compiled sequentially (preserving
-    the RNG draw order) and the seeded simulations execute as one batched
-    runtime call, so ``workers`` only changes wall time.
+    The ``(depth, sample)`` grid is a :class:`~repro.runtime.Sweep` whose
+    builder compiles in grid order — one shared RNG stream draws the random
+    bases, the twirl, and each point's simulator sub-seed exactly as the
+    legacy sequential loop did — so the whole protocol is one batched
+    runtime call and ``workers`` only changes wall time.
     """
     rng = as_generator(seed)
     options = options or SimOptions(shots=24)
     pipeline = pipeline_for(strategy)
     partitions = partition_layer(spec, device)
-    polarizations: Dict[Tuple[int, ...], Dict[int, List[float]]] = {
-        p: {d: [] for d in depths} for p in partitions
-    }
     observables = {}
     for part in partitions:
         label = ["I"] * spec.num_qubits
@@ -175,27 +175,25 @@ def measure_layer_fidelity(
             label[spec.num_qubits - 1 - q] = "Z"
         observables[str(part)] = Pauli.from_label("".join(label))
 
-    tasks = []
-    task_depths = []
-    for depth in depths:
-        for _ in range(samples):
-            bases = [
-                "XYZ"[rng.integers(3)] for _ in range(spec.num_qubits)
-            ]
-            circuit = _survival_circuit(spec, bases, depth)
-            compiled = pipeline.compile(circuit, device, seed=rng)
-            sub_seed = int(rng.integers(0, 2**63 - 1))
-            tasks.append(Task(compiled, observables=observables, seed=sub_seed))
-            task_depths.append(depth)
-    batch = run(tasks, device, options=options, backend=backend, workers=workers)
-    for depth, result in zip(task_depths, batch):
-        for part in partitions:
-            polarizations[part][depth].append(result.values[str(part)])
+    def build(depth, sample):
+        bases = ["XYZ"[rng.integers(3)] for _ in range(spec.num_qubits)]
+        circuit = _survival_circuit(spec, bases, depth)
+        compiled = pipeline.compile(circuit, device, seed=rng)
+        sub_seed = int(rng.integers(0, 2**63 - 1))
+        return Task(compiled, observables=observables, seed=sub_seed)
+
+    swept = Sweep(
+        {"depth": list(depths), "sample": list(range(samples))},
+        build,
+        name=f"layer_fidelity/{pipeline.name}",
+    ).run(device, options=options, backend=backend, workers=workers)
 
     rates: Dict[Tuple[int, ...], float] = {}
     curves: Dict[Tuple[int, ...], List[float]] = {}
     for part in partitions:
-        means = [float(np.mean(polarizations[part][d])) for d in depths]
+        means = [
+            float(np.mean(swept.curve(str(part), depth=d))) for d in depths
+        ]
         curves[part] = means
         fit = fit_exponential_decay(list(depths), means, offset=0.0)
         # One depth unit = two layer applications.
@@ -209,6 +207,7 @@ def measure_layer_fidelity(
         layer_fidelity=layer_fidelity,
         gamma=gamma,
         curves=curves,
+        sweep=swept,
     )
 
 

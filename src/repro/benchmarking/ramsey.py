@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..circuits.circuit import Circuit
 from ..compiler.strategies import get_strategy
 from ..device.calibration import Device
-from ..runtime import Task, pipeline_for, run
+from ..runtime import Sweep, Task, pipeline_for, run
 from ..sim.executor import SimOptions
 from ..utils.rng import SeedLike
 
@@ -175,14 +175,14 @@ def ramsey_curve(
     backend=None,
     workers: Optional[int] = None,
 ) -> List[float]:
-    """Ramsey fidelity versus depth for one strategy, as one batched run."""
+    """Ramsey fidelity versus depth for one strategy, as one batched sweep."""
     options = options or SimOptions(shots=64)
-    tasks = [
-        ramsey_task(
-            case, device, d, strategy,
+    swept = Sweep(
+        {"depth": list(depths)},
+        lambda depth: ramsey_task(
+            case, device, depth, strategy,
             tau=tau, twirl=twirl, realizations=realizations, seed=seed,
-        )
-        for d in depths
-    ]
-    batch = run(tasks, options=options, backend=backend, workers=workers)
-    return [float(result.values["f"]) for result in batch]
+        ),
+        name=f"ramsey/{case.name}",
+    ).run(options=options, backend=backend, workers=workers)
+    return [float(v) for v in swept.curve("f")]

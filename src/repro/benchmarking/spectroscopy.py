@@ -17,7 +17,7 @@ import numpy as np
 
 from ..circuits.circuit import Circuit
 from ..device.calibration import Device
-from ..runtime import Task, run
+from ..runtime import Sweep, Task
 from ..sim.executor import SimOptions
 from ..utils.fitting import dominant_frequency
 from ..utils.units import TWO_PI
@@ -64,27 +64,28 @@ def ramsey_fringe(
 ) -> List[float]:
     """``<Z_probe>`` after a Ramsey sequence, for each idle time.
 
-    The whole time sweep executes as one batched runtime call.
+    The whole time sweep is one declarative :class:`~repro.runtime.Sweep`
+    (a single batched runtime call).
     """
     options = options or SimOptions(shots=200, seed=7)
     label = ["I"] * device.num_qubits
     label[device.num_qubits - 1 - probe] = "Z"
     observable = {"z": "".join(label)}
-    tasks = [
-        Task(
+    swept = Sweep(
+        {"time": list(times)},
+        lambda time: Task(
             _ramsey_idle_circuit(
                 device.num_qubits,
                 probe,
-                t,
+                time,
                 applied_frequency=applied_frequency,
                 drive_neighbor=drive_neighbor,
             ),
             observables=observable,
-        )
-        for t in times
-    ]
-    batch = run(tasks, device, options=options)
-    return [result.values["z"] for result in batch]
+        ),
+        name="ramsey_fringe",
+    ).run(device, options=options)
+    return swept.curve("z")
 
 
 @dataclass

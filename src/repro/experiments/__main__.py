@@ -5,7 +5,7 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments fig9
     python -m repro.experiments fig3 --quick
-    python -m repro.experiments all --quick
+    python -m repro.experiments all --quick --json results.json
 
 ``--quick`` shrinks shot counts and sweeps so each experiment finishes in
 seconds (useful for smoke-checking an install); default parameters match
@@ -13,12 +13,16 @@ the benchmark harness. ``--workers N`` fans each experiment's batched
 simulations out over N threads and ``--backend`` selects the simulation
 engine (``vectorized`` batches all shots of a task through whole-array
 NumPy ops; results are identical to ``trajectory`` for any backend/worker
-choice, only the wall time changes).
+choice, only the wall time changes). ``--chunk-shots`` bounds the
+vectorized engine's resident states per chunk (0 = auto-size). ``--json
+PATH`` writes every requested experiment's result — including the full
+per-point Sweep serialization — as one JSON document.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable, Dict, List
@@ -37,96 +41,83 @@ from . import (
     run_stark,
     run_table1,
 )
+from .fig4 import Fig4Result
 
 
-def _fig3(quick: bool) -> List[str]:
-    result = run_fig3(
+def _fig3(quick: bool):
+    return run_fig3(
         depths=(0, 4, 8) if quick else (0, 4, 8, 12, 16, 20),
         shots=8 if quick else 32,
         realizations=2 if quick else 6,
     )
-    return result.rows()
 
 
-def _fig4(quick: bool) -> List[str]:
-    lines = []
-    stark = run_stark(
-        times=tuple(np.linspace(500.0, 20000.0 if quick else 60000.0, 40 if quick else 100)),
-        shots=8 if quick else 16,
+def _fig4(quick: bool):
+    return Fig4Result(
+        stark=run_stark(
+            times=tuple(
+                np.linspace(500.0, 20000.0 if quick else 60000.0, 40 if quick else 100)
+            ),
+            shots=8 if quick else 16,
+        ),
+        parity=run_parity(
+            times=tuple(np.linspace(0.0, 20000.0, 40 if quick else 120)),
+            shots=32 if quick else 120,
+        ),
+        nnn=run_nnn_walsh(
+            depths=(0, 8) if quick else (0, 8, 16, 24), shots=16 if quick else 32
+        ),
     )
-    lines.append(
-        f"[fig4a] stark shift: measured {stark.stark_shift / 1e-6:.1f} kHz, "
-        f"calibrated {stark.calibrated_stark / 1e-6:.1f} kHz"
-    )
-    parity = run_parity(
-        times=tuple(np.linspace(0.0, 20000.0, 40 if quick else 120)),
-        shots=32 if quick else 120,
-    )
-    signal = np.asarray(parity["signal"])
-    lines.append(
-        f"[fig4b] parity beating: fringe range [{signal.min():.2f}, {signal.max():.2f}]"
-    )
-    nnn = run_nnn_walsh(
-        depths=(0, 8) if quick else (0, 8, 16, 24), shots=16 if quick else 32
-    )
-    for name, curve in nnn.curves.items():
-        lines.append(
-            f"[fig4c] {name:>10s}: " + " ".join(f"{v:.3f}" for v in curve)
-        )
-    return lines
 
 
-def _fig6(quick: bool) -> List[str]:
-    result = run_fig6(
+def _fig6(quick: bool):
+    return run_fig6(
         steps=(0, 1, 2) if quick else (0, 1, 2, 3, 4, 5),
         shots=8 if quick else 20,
         realizations=2 if quick else 6,
     )
-    return result.rows()
 
 
-def _fig7(quick: bool) -> List[str]:
-    result = run_fig7(
+def _fig7(quick: bool):
+    return run_fig7(
         num_qubits=6 if quick else 12,
         steps=(0, 1, 2) if quick else (0, 1, 2, 3, 4, 5),
         shots=6 if quick else 14,
         realizations=3 if quick else 10,
     )
-    return result.rows()
 
 
-def _fig8(quick: bool) -> List[str]:
-    result = run_fig8(
+def _fig8(quick: bool):
+    return run_fig8(
         depths=(1, 2) if quick else (1, 2, 4, 6),
         samples=2 if quick else 6,
         shots=6 if quick else 12,
     )
-    return result.rows()
 
 
-def _fig9(quick: bool) -> List[str]:
-    result = run_fig9(
+def _fig9(quick: bool):
+    return run_fig9(
         estimates=list(np.linspace(0.0, 3000.0, 5 if quick else 11)),
         shots=40 if quick else 140,
     )
-    return result.rows()
 
 
-def _fig10(quick: bool) -> List[str]:
-    result = run_fig10(
+def _fig10(quick: bool):
+    return run_fig10(
         steps=(0, 1, 2) if quick else (0, 1, 2, 3, 4, 5),
         shots=8 if quick else 24,
         realizations=3 if quick else 10,
     )
-    return result.rows()
 
 
-def _table1(quick: bool) -> List[str]:
-    result = run_table1(depth=4 if quick else 8, shots=24 if quick else 48)
-    return result.formatted()
+def _table1(quick: bool):
+    return run_table1(depth=4 if quick else 8, shots=24 if quick else 48)
 
 
-EXPERIMENTS: Dict[str, Callable[[bool], List[str]]] = {
+#: Each runner returns a result object exposing ``rows()`` (text report;
+#: ``formatted()`` is accepted as an alias) and ``to_json()`` (the Sweep
+#: serialization behind ``--json``).
+EXPERIMENTS: Dict[str, Callable] = {
     "fig3": _fig3,
     "fig4": _fig4,
     "fig6": _fig6,
@@ -136,6 +127,16 @@ EXPERIMENTS: Dict[str, Callable[[bool], List[str]]] = {
     "fig10": _fig10,
     "table1": _table1,
 }
+
+
+def _render(result) -> List[str]:
+    # Table1Result's ``rows`` is a data field; its report method is
+    # ``formatted()``. Everything else exposes ``rows()``.
+    for attr in ("rows", "formatted"):
+        method = getattr(result, attr, None)
+        if callable(method):
+            return method()
+    raise TypeError(f"{type(result).__name__} has no report method")
 
 
 def main(argv=None) -> int:
@@ -165,15 +166,37 @@ def main(argv=None) -> int:
         help="simulation backend: trajectory (default), vectorized "
         "(batched, bit-identical, faster), or density (exact)",
     )
+    parser.add_argument(
+        "--chunk-shots",
+        type=int,
+        default=None,
+        metavar="N",
+        help="vectorized backend: max states resident per chunk "
+        "(0 = auto-size to ~32 MiB; results never depend on this)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the full results (per-point Sweep serialization) as JSON",
+    )
     args = parser.parse_args(argv)
 
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be >= 1")
-    if args.workers is not None or args.backend is not None:
+    if args.chunk_shots is not None and args.chunk_shots < 0:
+        parser.error("--chunk-shots must be >= 1 (or 0 for auto)")
+    if (
+        args.workers is not None
+        or args.backend is not None
+        or args.chunk_shots is not None
+    ):
         from ..runtime import configure
 
         try:
             configure(workers=args.workers, backend=args.backend)
+            if args.chunk_shots is not None:
+                configure(chunk_shots=args.chunk_shots or None)
         except ValueError as exc:
             parser.error(str(exc))
 
@@ -183,12 +206,22 @@ def main(argv=None) -> int:
         return 0
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    payloads: Dict[str, Dict] = {}
     for name in names:
         print(f"=== {name} ===")
         start = time.time()
-        for line in EXPERIMENTS[name](args.quick):
+        result = EXPERIMENTS[name](args.quick)
+        for line in _render(result):
             print(line)
         print(f"({time.time() - start:.1f} s)\n")
+        if args.json:
+            payloads[name] = result.to_json()
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payloads, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
     return 0
 
 

@@ -15,7 +15,7 @@ import numpy as np
 from typing import Optional
 
 from ..apps.floquet6 import floquet6_circuit, floquet6_device, probe_target_bits
-from ..runtime import Task, run
+from ..runtime import Sweep, SweepResult, Task
 from ..sim.executor import SimOptions
 
 STRATEGIES = ("none", "ca_dd", "ca_ec", "ca_ec+dd")
@@ -25,6 +25,7 @@ STRATEGIES = ("none", "ca_dd", "ca_ec", "ca_ec+dd")
 class Fig10Result:
     steps: List[int]
     curves: Dict[str, List[float]] = field(default_factory=dict)
+    sweep: Optional[SweepResult] = None
 
     def mean_fidelity(self, strategy: str) -> float:
         return float(np.mean(self.curves[strategy]))
@@ -35,6 +36,14 @@ class Fig10Result:
             formatted = " ".join(f"{v:.3f}" for v in values)
             lines.append(f"  {strategy:>9s}: {formatted}  (mean {np.mean(values):.3f})")
         return lines
+
+    def to_json(self) -> Dict:
+        return {
+            "experiment": "fig10",
+            "steps": self.steps,
+            "curves": self.curves,
+            "sweep": self.sweep.to_json() if self.sweep else None,
+        }
 
 
 def run_fig10(
@@ -47,25 +56,23 @@ def run_fig10(
 ) -> Fig10Result:
     device = floquet6_device(seed=seed)
     target = {"p": probe_target_bits()}
-    result = Fig10Result(steps=list(steps))
-    tasks = [
-        Task(
-            floquet6_circuit(depth),
+    swept = Sweep(
+        {"strategy": STRATEGIES, "step": list(steps)},
+        lambda strategy, step: Task(
+            floquet6_circuit(step),
             bit_targets=target,
             pipeline=strategy,
             realizations=realizations,
-            seed=seed + depth,
-            name=f"{strategy}/d{depth}",
-        )
-        for strategy in STRATEGIES
-        for depth in steps
-    ]
-    batch = run(
-        tasks, device, options=SimOptions(shots=shots), backend=backend,
-        workers=workers,
+            seed=seed + step,
+            name=f"{strategy}/d{step}",
+        ),
+        name="fig10",
+    ).run(device, options=SimOptions(shots=shots), backend=backend, workers=workers)
+    return Fig10Result(
+        steps=list(steps),
+        curves={
+            s: [float(v) for v in swept.curve("p", strategy=s)]
+            for s in STRATEGIES
+        },
+        sweep=swept,
     )
-    for strategy in STRATEGIES:
-        result.curves[strategy] = [
-            float(batch[f"{strategy}/d{depth}"].values["p"]) for depth in steps
-        ]
-    return result

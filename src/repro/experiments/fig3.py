@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence
 from ..benchmarking.ramsey import CASE_I, CASE_II, CASE_III, CASE_IV, RamseyCase, ramsey_task
 from ..device.calibration import Device, synthetic_device
 from ..device.topology import linear_chain
-from ..runtime import run
+from ..runtime import Sweep, SweepResult
 from ..sim.executor import SimOptions
 
 CASE_STRATEGIES: Dict[str, List[str]] = {
@@ -37,6 +37,7 @@ class Fig3Result:
 
     depths: List[int]
     curves: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+    sweep: Optional[SweepResult] = None
 
     def rows(self) -> List[str]:
         lines = []
@@ -46,6 +47,14 @@ class Fig3Result:
                 formatted = " ".join(f"{v:.3f}" for v in values)
                 lines.append(f"  {strategy:>14s}: {formatted}")
         return lines
+
+    def to_json(self) -> Dict:
+        return {
+            "experiment": "fig3",
+            "depths": self.depths,
+            "curves": self.curves,
+            "sweep": self.sweep.to_json() if self.sweep else None,
+        }
 
 
 def run_fig3(
@@ -64,40 +73,54 @@ def run_fig3(
     workflow, and necessary for case IV, whose repeated untwirled layer
     accidentally echoes away its own control-control ZZ.
 
-    Every (case, strategy, depth) point becomes one independently seeded
-    :class:`~repro.runtime.Task`, so the whole figure is a single batched
-    run that parallelizes across ``workers``.
+    The whole figure is one declarative :class:`~repro.runtime.Sweep` over
+    (case, strategy, depth) — strategies that don't apply to a case are
+    skipped points — and every point is an independently seeded
+    :class:`~repro.runtime.Task`, so the grid compiles and simulates as a
+    single batched run that parallelizes across ``workers``.
     """
-    result = Fig3Result(depths=list(depths))
-    options = SimOptions(shots=shots)
-    tasks = []
-    keys = []
-    for case_name in cases:
-        case = CASES[case_name]
-        device = synthetic_device(
-            linear_chain(case.num_qubits),
-            name=f"fig3_{case.name}",
-            seed=seed + case.num_qubits,
+    devices = {
+        name: synthetic_device(
+            linear_chain(CASES[name].num_qubits),
+            name=f"fig3_{name}",
+            seed=seed + CASES[name].num_qubits,
         )
-        twirl = case.name != CASE_I.name
-        result.curves[case.name] = {}
-        for strategy in CASE_STRATEGIES[case.name]:
-            result.curves[case.name][strategy] = []
-            for depth in depths:
-                tasks.append(
-                    ramsey_task(
-                        case,
-                        device,
-                        depth,
-                        strategy,
-                        tau=tau,
-                        twirl=twirl,
-                        realizations=realizations if twirl else 1,
-                        seed=seed,
-                    )
-                )
-                keys.append((case.name, strategy))
-    batch = run(tasks, options=options, backend=backend, workers=workers)
-    for (case_name, strategy), point in zip(keys, batch):
-        result.curves[case_name][strategy].append(float(point.values["f"]))
+        for name in cases
+    }
+    strategies = list(
+        dict.fromkeys(s for name in cases for s in CASE_STRATEGIES[name])
+    )
+
+    def build(case, strategy, depth):
+        if strategy not in CASE_STRATEGIES[case]:
+            return None
+        twirl = case != CASE_I.name
+        return ramsey_task(
+            CASES[case],
+            devices[case],
+            depth,
+            strategy,
+            tau=tau,
+            twirl=twirl,
+            realizations=realizations if twirl else 1,
+            seed=seed,
+        )
+
+    sweep = Sweep(
+        {"case": list(cases), "strategy": strategies, "depth": list(depths)},
+        build,
+        name="fig3",
+    )
+    swept = sweep.run(
+        options=SimOptions(shots=shots), backend=backend, workers=workers
+    )
+    result = Fig3Result(depths=list(depths), sweep=swept)
+    for case_name in cases:
+        result.curves[case_name] = {
+            strategy: [
+                float(v)
+                for v in swept.curve("f", case=case_name, strategy=strategy)
+            ]
+            for strategy in CASE_STRATEGIES[case_name]
+        }
     return result

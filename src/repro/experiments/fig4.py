@@ -12,7 +12,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -22,7 +22,7 @@ from ..compiler.dd import apply_dd_by_rule
 from ..compiler.walsh import walsh_fractions
 from ..device.calibration import Device, QubitParams, synthetic_device
 from ..device.topology import linear_chain
-from ..runtime import Task, run
+from ..runtime import Sweep, SweepResult, Task
 from ..sim.executor import SimOptions
 from ..utils.units import KHZ
 
@@ -78,6 +78,15 @@ class NNNResult:
 
     depths: List[int]
     curves: Dict[str, List[float]] = field(default_factory=dict)
+    sweep: Optional[SweepResult] = None
+
+    def to_json(self) -> Dict:
+        return {
+            "experiment": "fig4c_nnn_walsh",
+            "depths": self.depths,
+            "curves": self.curves,
+            "sweep": self.sweep.to_json() if self.sweep else None,
+        }
 
 
 def run_nnn_walsh(
@@ -119,35 +128,33 @@ def run_nnn_walsh(
         },
     }
 
-    result = NNNResult(depths=list(depths))
-    options = SimOptions(shots=shots)
-    tasks = []
-    for name, assignment in schemes.items():
-        for depth in depths:
-            circuit = _idle_ramsey_all(3, depth, tau)
-            if assignment:
-                dressed = apply_dd_by_rule(
-                    circuit,
-                    device,
-                    lambda _m, q: assignment.get(q),
-                    min_duration=tau / 2,
-                )
-            else:
-                dressed = circuit
-            tasks.append(
-                Task(
-                    dressed,
-                    bit_targets={"f": {0: 0, 1: 0, 2: 0}},
-                    seed=seed + depth,
-                    name=f"{name}/d{depth}",
-                )
+    def build(scheme, depth):
+        assignment = schemes[scheme]
+        circuit = _idle_ramsey_all(3, depth, tau)
+        if assignment:
+            dressed = apply_dd_by_rule(
+                circuit,
+                device,
+                lambda _m, q: assignment.get(q),
+                min_duration=tau / 2,
             )
-    batch = run(tasks, device, options=options)
-    for name in schemes:
-        result.curves[name] = [
-            batch[f"{name}/d{depth}"].values["f"] for depth in depths
-        ]
-    return result
+        else:
+            dressed = circuit
+        return Task(
+            dressed,
+            bit_targets={"f": {0: 0, 1: 0, 2: 0}},
+            seed=seed + depth,
+            name=f"{scheme}/d{depth}",
+        )
+
+    swept = Sweep(
+        {"scheme": list(schemes), "depth": list(depths)}, build, name="fig4c"
+    ).run(device, options=SimOptions(shots=shots))
+    return NNNResult(
+        depths=list(depths),
+        curves={name: swept.curve("f", scheme=name) for name in schemes},
+        sweep=swept,
+    )
 
 
 def _idle_ramsey_all(num_qubits: int, depth: int, tau: float) -> Circuit:
@@ -162,3 +169,39 @@ def _idle_ramsey_all(num_qubits: int, depth: int, tau: float) -> Circuit:
     for q in range(num_qubits):
         circ.h(q, new_moment=(q == 0))
     return circ
+
+
+@dataclass
+class Fig4Result:
+    """Composite of the three Fig. 4 panels (for the CLI / JSON export)."""
+
+    stark: StarkMeasurement
+    parity: Dict[str, List[float]]
+    nnn: NNNResult
+
+    def rows(self) -> List[str]:
+        signal = np.asarray(self.parity["signal"])
+        lines = [
+            f"[fig4a] stark shift: measured {self.stark.stark_shift / 1e-6:.1f} kHz, "
+            f"calibrated {self.stark.calibrated_stark / 1e-6:.1f} kHz",
+            f"[fig4b] parity beating: fringe range "
+            f"[{signal.min():.2f}, {signal.max():.2f}]",
+        ]
+        for name, curve in self.nnn.curves.items():
+            lines.append(
+                f"[fig4c] {name:>10s}: " + " ".join(f"{v:.3f}" for v in curve)
+            )
+        return lines
+
+    def to_json(self) -> Dict:
+        return {
+            "experiment": "fig4",
+            "stark": {
+                "driven_frequency": self.stark.driven_frequency,
+                "always_on_reference": self.stark.always_on_reference,
+                "calibrated_stark": self.stark.calibrated_stark,
+                "stark_shift": self.stark.stark_shift,
+            },
+            "parity": {k: list(v) for k, v in self.parity.items()},
+            "nnn": self.nnn.to_json(),
+        }

@@ -12,7 +12,7 @@ from typing import Dict, List, Sequence
 from typing import Optional
 
 from ..apps.ising import boundary_xx_label, ideal_boundary_xx, ising_circuit, ising_device
-from ..runtime import Task, run
+from ..runtime import Sweep, SweepResult, Task
 from ..sim.executor import SimOptions
 
 STRATEGIES = ("none", "ca_ec", "ca_dd")
@@ -23,6 +23,7 @@ class Fig6Result:
     steps: List[int]
     ideal: List[float]
     curves: Dict[str, List[float]] = field(default_factory=dict)
+    sweep: Optional[SweepResult] = None
 
     def rows(self) -> List[str]:
         lines = [f"steps: {self.steps}", f"ideal: {self.ideal}"]
@@ -31,6 +32,15 @@ class Fig6Result:
                 f"  {strategy:>8s}: " + " ".join(f"{v:+.3f}" for v in values)
             )
         return lines
+
+    def to_json(self) -> Dict:
+        return {
+            "experiment": "fig6",
+            "steps": self.steps,
+            "ideal": self.ideal,
+            "curves": self.curves,
+            "sweep": self.sweep.to_json() if self.sweep else None,
+        }
 
 
 def run_fig6(
@@ -44,25 +54,24 @@ def run_fig6(
 ) -> Fig6Result:
     device = ising_device(num_qubits, seed=seed)
     observable = {"xx": boundary_xx_label(num_qubits)}
-    result = Fig6Result(
-        steps=list(steps), ideal=[ideal_boundary_xx(d) for d in steps]
-    )
-    options = SimOptions(shots=shots)
-    tasks = [
-        Task(
-            ising_circuit(num_qubits, depth),
+    sweep = Sweep(
+        {"strategy": STRATEGIES, "step": list(steps)},
+        lambda strategy, step: Task(
+            ising_circuit(num_qubits, step),
             observables=observable,
             pipeline=strategy,
             realizations=realizations,
-            seed=seed + depth,
-            name=f"{strategy}/d{depth}",
-        )
-        for strategy in STRATEGIES
-        for depth in steps
-    ]
-    batch = run(tasks, device, options=options, backend=backend, workers=workers)
-    for strategy in STRATEGIES:
-        result.curves[strategy] = [
-            batch[f"{strategy}/d{depth}"].values["xx"] for depth in steps
-        ]
-    return result
+            seed=seed + step,
+            name=f"{strategy}/d{step}",
+        ),
+        name="fig6",
+    )
+    swept = sweep.run(
+        device, options=SimOptions(shots=shots), backend=backend, workers=workers
+    )
+    return Fig6Result(
+        steps=list(steps),
+        ideal=[ideal_boundary_xx(d) for d in steps],
+        curves={s: swept.curve("xx", strategy=s) for s in STRATEGIES},
+        sweep=swept,
+    )

@@ -15,7 +15,7 @@ from typing import Optional
 
 from ..apps.heisenberg import heisenberg_circuit, heisenberg_device, site_z_label
 from ..benchmarking.mitigation import DepolarizingFit, fit_global_depolarizing
-from ..runtime import Task, run
+from ..runtime import Sweep, SweepResult, Task
 from ..sim.executor import SimOptions
 
 STRATEGIES = ("none", "dd", "ca_dd", "ca_ec")
@@ -27,6 +27,8 @@ class Fig7Result:
     ideal: List[float]
     curves: Dict[str, List[float]] = field(default_factory=dict)
     fits: Dict[str, DepolarizingFit] = field(default_factory=dict)
+    sweep: Optional[SweepResult] = None
+    ideal_sweep: Optional[SweepResult] = None
 
     def overhead_at(self, strategy: str, depth: float) -> float:
         return self.fits[strategy].overhead(depth)
@@ -52,6 +54,16 @@ class Fig7Result:
             )
         return lines
 
+    def to_json(self) -> Dict:
+        return {
+            "experiment": "fig7",
+            "steps": self.steps,
+            "ideal": self.ideal,
+            "curves": self.curves,
+            "sweep": self.sweep.to_json() if self.sweep else None,
+            "ideal_sweep": self.ideal_sweep.to_json() if self.ideal_sweep else None,
+        }
+
 
 def run_fig7(
     num_qubits: int = 12,
@@ -75,37 +87,35 @@ def run_fig7(
         gate_errors=False,
         seed=0,
     )
-    ideal_batch = run(
-        [
-            Task(
-                heisenberg_circuit(num_qubits, d, coupling=coupling),
-                observables=observable,
-                device=device.ideal(),
-            )
-            for d in steps
-        ],
-        options=ideal_options,
-        backend=backend,
-        workers=workers,
+    ideal_device = device.ideal()
+    ideal_swept = Sweep(
+        {"step": list(steps)},
+        lambda step: Task(
+            heisenberg_circuit(num_qubits, step, coupling=coupling),
+            observables=observable,
+            device=ideal_device,
+        ),
+        name="fig7/ideal",
+    ).run(options=ideal_options, backend=backend, workers=workers)
+    ideal = ideal_swept.curve("z")
+    result = Fig7Result(
+        steps=list(steps), ideal=ideal, ideal_sweep=ideal_swept
     )
-    ideal = [point.values["z"] for point in ideal_batch]
-    result = Fig7Result(steps=list(steps), ideal=ideal)
-    options = SimOptions(shots=shots)
-    tasks = [
-        Task(
-            heisenberg_circuit(num_qubits, depth, coupling=coupling),
+    swept = Sweep(
+        {"strategy": STRATEGIES, "step": list(steps)},
+        lambda strategy, step: Task(
+            heisenberg_circuit(num_qubits, step, coupling=coupling),
             observables=observable,
             pipeline=strategy,
             realizations=realizations,
-            seed=seed + depth,
-            name=f"{strategy}/d{depth}",
-        )
-        for strategy in STRATEGIES
-        for depth in steps
-    ]
-    batch = run(tasks, device, options=options, backend=backend, workers=workers)
+            seed=seed + step,
+            name=f"{strategy}/d{step}",
+        ),
+        name="fig7",
+    ).run(device, options=SimOptions(shots=shots), backend=backend, workers=workers)
+    result.sweep = swept
     for strategy in STRATEGIES:
-        values = [batch[f"{strategy}/d{depth}"].values["z"] for depth in steps]
+        values = swept.curve("z", strategy=strategy)
         result.curves[strategy] = values
         result.fits[strategy] = fit_global_depolarizing(steps, values, ideal)
     return result

@@ -79,6 +79,21 @@ class Fig8Result:
                     )
         return lines
 
+    def to_json(self) -> Dict:
+        return {
+            "experiment": "fig8",
+            "strategies": {
+                name: {
+                    "layer_fidelity": res.layer_fidelity,
+                    "gamma": res.gamma,
+                    "rates": {str(p): r for p, r in res.rates.items()},
+                    "curves": {str(p): c for p, c in res.curves.items()},
+                    "sweep": res.sweep.to_json() if res.sweep else None,
+                }
+                for name, res in self.results.items()
+            },
+        }
+
 
 def run_fig8(
     depths: Sequence[int] = (1, 2, 4, 6),

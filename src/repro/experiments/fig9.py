@@ -19,7 +19,7 @@ from ..apps.dynamic import (
     conditionally_compensated_circuit,
     dynamic_device,
 )
-from ..runtime import Task, run
+from ..runtime import Sweep, SweepResult, Task
 from ..sim.executor import SimOptions
 
 
@@ -30,6 +30,7 @@ class Fig9Result:
     bare_fidelity: float
     true_feedforward: float
     conditional_fidelity: float = 0.0
+    sweep: Optional[SweepResult] = None
 
     @property
     def best_estimate(self) -> float:
@@ -60,6 +61,17 @@ class Fig9Result:
         )
         return lines
 
+    def to_json(self) -> Dict:
+        return {
+            "experiment": "fig9",
+            "estimates": self.estimates,
+            "fidelities": self.fidelities,
+            "bare_fidelity": self.bare_fidelity,
+            "conditional_fidelity": self.conditional_fidelity,
+            "true_feedforward": self.true_feedforward,
+            "sweep": self.sweep.to_json() if self.sweep else None,
+        }
+
 
 def run_fig9(
     estimates: Optional[Sequence[float]] = None,
@@ -76,30 +88,32 @@ def run_fig9(
     target = {"f": bell_target_bits()}
 
     # Bare baseline, the estimate sweep, and the conditional variant as one
-    # batched run; every task reuses options.seed, as the legacy loop did.
-    tasks = [Task(bell_dynamic_circuit(), bit_targets=target, name="bare")]
-    tasks += [
-        Task(
-            compensated_circuit(device, feedforward_estimate=estimate),
+    # single-axis sweep; every task reuses options.seed, as the legacy loop
+    # did, so batching leaves the values untouched.
+    def build(variant):
+        if variant == "bare":
+            return Task(bell_dynamic_circuit(), bit_targets=target, name="bare")
+        if variant == "conditional":
+            return Task(
+                conditionally_compensated_circuit(device),
+                bit_targets=target,
+                name="conditional",
+            )
+        return Task(
+            compensated_circuit(device, feedforward_estimate=variant),
             bit_targets=target,
-            name=f"est{i}",
+            name=f"est={variant:.0f}",
         )
-        for i, estimate in enumerate(estimates)
-    ]
-    tasks.append(
-        Task(
-            conditionally_compensated_circuit(device),
-            bit_targets=target,
-            name="conditional",
-        )
-    )
-    batch = run(tasks, device, options=options, backend=backend, workers=workers)
+
+    estimates = [float(e) for e in estimates]
+    swept = Sweep(
+        {"variant": ["bare", *estimates, "conditional"]}, build, name="fig9"
+    ).run(device, options=options, backend=backend, workers=workers)
     return Fig9Result(
-        estimates=list(estimates),
-        fidelities=[
-            batch[f"est{i}"].values["f"] for i in range(len(estimates))
-        ],
-        bare_fidelity=batch["bare"].values["f"],
+        estimates=estimates,
+        fidelities=[swept[e].values["f"] for e in estimates],
+        bare_fidelity=swept["bare"].values["f"],
         true_feedforward=true_feedforward,
-        conditional_fidelity=batch["conditional"].values["f"],
+        conditional_fidelity=swept["conditional"].values["f"],
+        sweep=swept,
     )

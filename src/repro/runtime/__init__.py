@@ -1,8 +1,8 @@
-"""Unified runtime: composable pipelines, pluggable backends, batched runs.
+"""Unified runtime: pipelines, plans, backends, batched runs, sweeps.
 
-The three pieces fit together like this::
+The pieces fit together like this::
 
-    from repro.runtime import CADD, CAEC, Pipeline, Task, Twirl, run
+    from repro.runtime import CADD, CAEC, Pipeline, Sweep, Task, Twirl, run
 
     # 1. a compilation recipe: a named strategy or a custom pass pipeline
     pipeline = Pipeline([Twirl(), CADD(), CAEC()])   # or pipeline="ca_ec+dd"
@@ -16,6 +16,13 @@ The three pieces fit together like this::
 
     # 3. one batched, parallel, backend-agnostic run
     batch = run(tasks, device, backend="trajectory", workers=4)
+
+Under the hood ``run()`` is a plan/execute split: a shared
+:func:`~repro.runtime.plan.compile_tasks` stage produces frozen
+:class:`~repro.runtime.plan.ExecutionPlan` artifacts (parallel across
+tasks, content-cached for deterministic pipelines), and every backend
+consumes the same plans. Grid-shaped experiments declare a
+:class:`~repro.runtime.sweep.Sweep` instead of hand-rolling task lists.
 
 See :mod:`repro.runtime.task` for the seed semantics that make the batched
 path bit-for-bit equivalent to the legacy single-task entry points.
@@ -32,7 +39,24 @@ from .backends import (
 )
 from .passes import CADD, CAEC, AlignedDD, Orient, Pass, PassContext, StaggeredDD, Twirl
 from .pipeline import IDENTITY, Pipeline, as_pipeline, pipeline_for
-from .run import configure, default_backend, default_workers, run
+from .plan import (
+    PLAN_CACHE,
+    ExecutionPlan,
+    PlanCache,
+    PlanUnit,
+    circuit_fingerprint,
+    compile_tasks,
+    device_fingerprint,
+    plan_options,
+)
+from .run import (
+    configure,
+    default_backend,
+    default_chunk_shots,
+    default_workers,
+    run,
+)
+from .sweep import Sweep, SweepResult
 from .task import BatchResult, Task, TaskResult
 
 __all__ = [
@@ -55,10 +79,21 @@ __all__ = [
     "Pipeline",
     "as_pipeline",
     "pipeline_for",
+    "PLAN_CACHE",
+    "ExecutionPlan",
+    "PlanCache",
+    "PlanUnit",
+    "circuit_fingerprint",
+    "compile_tasks",
+    "device_fingerprint",
+    "plan_options",
     "configure",
     "default_backend",
+    "default_chunk_shots",
     "default_workers",
     "run",
+    "Sweep",
+    "SweepResult",
     "BatchResult",
     "Task",
     "TaskResult",

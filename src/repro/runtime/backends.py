@@ -18,13 +18,16 @@ implementations ship with the library:
 Select one by name (``backend="trajectory"``) or register your own
 (GPU, distributed, hardware-facing, ...) with :func:`register_backend`.
 
-The shared batching machinery compiles every realization *sequentially* on
-the caller's thread — preserving the exact RNG draw order of the legacy
-single-task loops — and only fans the (independently seeded) simulations
-out across workers, so results are identical for any ``workers`` value.
-Tasks whose pipeline is deterministic are compiled and scheduled once, and
-the trajectory executor's cached static coherent accumulation is shared
-across all their realizations.
+Since the plan/execute split, backends no longer compile anything: the
+shared :func:`~repro.runtime.plan.compile_tasks` stage produces frozen
+:class:`~repro.runtime.plan.ExecutionPlan` artifacts (scheduled circuits,
+normalized payloads, derived seeds) and :meth:`Backend.execute_plans` turns
+plans into results — :meth:`Backend.run` is just the two stages glued
+together. Simulations are independently seeded, so fanning them out across
+``workers`` threads never changes a value. Units that share a scheduled
+circuit (a deterministic pipeline's realizations — possibly across tasks,
+via the plan cache) share one engine, and with it the trajectory engines'
+cached static coherent accumulation.
 """
 
 from __future__ import annotations
@@ -34,47 +37,25 @@ import math
 import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..circuits.schedule import ScheduledCircuit, schedule
+from ..circuits.schedule import ScheduledCircuit
 from ..device.calibration import Device
-from ..pauli.pauli import Pauli
 from ..sim.density import DensityExecutor
 from ..sim.executor import Executor, SimOptions, SimResult
 from ..sim.vectorized import VectorizedExecutor
-from ..utils.rng import SeedLike, as_generator
-from .pipeline import as_pipeline
-from .task import CircuitLike, Task, TaskResult
-
-
-@dataclass
-class _Unit:
-    """One simulation job: a compiled circuit with its own seed."""
-
-    task_index: int
-    circuit: CircuitLike
-    device: Device
-    seed: SeedLike
-    engine: Any = None  # pre-built engine shared across a task's realizations
-
-
-def _as_scheduled(circuit: CircuitLike, device: Device) -> ScheduledCircuit:
-    if isinstance(circuit, ScheduledCircuit):
-        return circuit
-    return schedule(circuit, device.durations)
-
-
-def _normalize_payload(task: Task) -> Tuple[str, Dict]:
-    if task.observables is not None:
-        paulis = {
-            k: (Pauli.from_label(v) if isinstance(v, str) else v)
-            for k, v in task.observables.items()
-        }
-        return "expectations", paulis
-    return "probabilities", dict(task.bit_targets)
+from ..utils.rng import SeedLike
+from .plan import (
+    PLAN_CACHE,
+    ExecutionPlan,
+    PlanCache,
+    PlanUnit,
+    compile_tasks,
+    plan_options,
+)
+from .task import Task, TaskResult
 
 
 class Backend(ABC):
@@ -82,7 +63,7 @@ class Backend(ABC):
 
     name: str = ""
     #: False for exact backends whose results ignore the unit seed; the
-    #: batcher then collapses a deterministic pipeline's realizations into
+    #: executor then collapses a deterministic pipeline's realizations into
     #: one simulation instead of repeating identical exact evolutions.
     seed_sensitive: bool = True
 
@@ -92,112 +73,105 @@ class Backend(ABC):
         device: Optional[Device] = None,
         options: Optional[SimOptions] = None,
         workers: int = 1,
+        compile_workers: Optional[int] = None,
+        cache: Optional[PlanCache] = PLAN_CACHE,
     ) -> List[TaskResult]:
-        """Execute every task and return results in task order.
+        """Compile every task, then execute the plans; results keep order.
 
         ``device`` is the default for tasks without their own; ``workers``
-        bounds the simulation thread pool (compilation stays sequential so
-        RNG streams — and therefore results — are worker-count invariant).
+        bounds the simulation thread pool and ``compile_workers`` (default:
+        ``workers``) the compilation pool. Tasks compile on their own RNG
+        streams and simulate from derived seeds, so results are invariant
+        under both worker counts.
         """
         options = options or SimOptions()
-        payloads = [_normalize_payload(task) for task in tasks]
-        units: List[_Unit] = []
-        direct: List[bool] = []
-        for index, task in enumerate(tasks):
-            task_device = task.device or device
-            if task_device is None:
-                raise ValueError(f"task {index} has no device and no default given")
-            task_units, is_direct = self._prepare(index, task, task_device, options)
-            units.extend(task_units)
-            direct.append(is_direct)
-
-        outcomes = self._execute_units(units, tasks, payloads, options, workers)
-
-        per_task: List[List[Tuple[SimResult, float]]] = [[] for _ in tasks]
-        for unit, outcome in zip(units, outcomes):
-            per_task[unit.task_index].append(outcome)
-        return [
-            self._aggregate(task, results, direct[i])
-            for i, (task, results) in enumerate(zip(tasks, per_task))
-        ]
-
-    # -- preparation (sequential: preserves RNG draw order) -------------------
-
-    def _prepare(
-        self, index: int, task: Task, device: Device, options: SimOptions
-    ) -> Tuple[List[_Unit], bool]:
-        """Compile a task's realizations into seeded simulation units."""
-        if task.factory is None and task.pipeline is None and task.realizations == 1:
-            # Raw execution: the circuit runs as-is, seeded directly
-            # (matching expectation_values / bit_probabilities).
-            return [_Unit(index, task.circuit, device, task.seed)], True
-
-        rng = as_generator(task.seed if task.seed is not None else options.seed)
-        units: List[_Unit] = []
-        if task.factory is not None:
-            for _ in range(task.realizations):
-                compiled = task.factory(rng)
-                sub_seed = int(rng.integers(0, 2**63 - 1))
-                units.append(_Unit(index, compiled, device, sub_seed))
-            return units, False
-
-        pipeline = as_pipeline(task.pipeline)
-        if pipeline.is_deterministic:
-            # One compile + one schedule; the engine (and, for the
-            # trajectory backend, its cached static coherent accumulation)
-            # is shared by every realization.
-            compiled = pipeline.compile(task.circuit, device, seed=rng)
-            engine = self._make_engine(_as_scheduled(compiled, device), device, options)
-            count = task.realizations if self.seed_sensitive else 1
-            for _ in range(count):
-                sub_seed = int(rng.integers(0, 2**63 - 1))
-                units.append(_Unit(index, compiled, device, sub_seed, engine=engine))
-        else:
-            for _ in range(task.realizations):
-                compiled = pipeline.compile(task.circuit, device, seed=rng)
-                sub_seed = int(rng.integers(0, 2**63 - 1))
-                units.append(_Unit(index, compiled, device, sub_seed))
-        return units, False
+        plans = compile_tasks(
+            tasks,
+            device=device,
+            options=options,
+            workers=compile_workers if compile_workers is not None else workers,
+            cache=cache,
+        )
+        return self.execute_plans(plans, options=options, workers=workers)
 
     # -- execution -------------------------------------------------------------
 
-    def _execute_units(
+    def execute_plans(
         self,
-        units: List[_Unit],
-        tasks: Sequence[Task],
-        payloads: List[Tuple[str, Dict]],
-        options: SimOptions,
-        workers: int,
-    ) -> List[Tuple[SimResult, float]]:
-        # One unit: backends that can shard *within* a simulation (the
+        plans: Sequence[ExecutionPlan],
+        options: Optional[SimOptions] = None,
+        workers: int = 1,
+    ) -> List[TaskResult]:
+        """Execute pre-built plans and return results in plan order.
+
+        Exact backends (``seed_sensitive = False``) run only the first unit
+        of a collapsible plan — repeating identical exact evolutions is pure
+        waste. Engines are shared between units that share a scheduled
+        circuit: a deterministic pipeline's realizations, and any plans the
+        content-addressed cache resolved to the same artifact.
+        ``options=None`` reuses the options the plans were compiled under.
+        """
+        if options is None:
+            options = plan_options(plans)
+        options = options or SimOptions()
+        jobs: List[Tuple[int, PlanUnit]] = []
+        for index, plan in enumerate(plans):
+            units = plan.units
+            if plan.collapsible and not self.seed_sensitive:
+                units = units[:1]
+            jobs.extend((index, unit) for unit in units)
+
+        # Shared engines (same scheduled-circuit object) are built once,
+        # sequentially, before the fan-out; per-unit engines are built
+        # inside the job so that work parallelizes with the simulations.
+        counts: Dict[Tuple[int, int], int] = {}
+        for _index, unit in jobs:
+            key = (id(unit.scheduled), id(unit.device))
+            counts[key] = counts.get(key, 0) + 1
+        engines: Dict[Tuple[int, int], Any] = {}
+        for _index, unit in jobs:
+            key = (id(unit.scheduled), id(unit.device))
+            if counts[key] > 1 and key not in engines:
+                engines[key] = self._make_engine(unit.scheduled, unit.device, options)
+
+        # One job: backends that can shard *within* a simulation (the
         # vectorized engine's chunked shot axis) get the whole budget.
         # Backends written against the pre-1.2 _execute signature (no
         # ``workers``) keep working: the keyword is only passed when the
         # implementation accepts it.
-        unit_workers = workers if len(units) == 1 else 1
+        unit_workers = workers if len(jobs) == 1 else 1
         takes_workers = "workers" in inspect.signature(self._execute).parameters
 
-        def job(unit: _Unit) -> Tuple[SimResult, float]:
+        def job(entry: Tuple[int, PlanUnit]) -> Tuple[SimResult, float]:
+            index, unit = entry
             start = time.perf_counter()
-            engine = unit.engine
+            engine = engines.get((id(unit.scheduled), id(unit.device)))
             if engine is None:
-                engine = self._make_engine(
-                    _as_scheduled(unit.circuit, unit.device), unit.device, options
-                )
-            kind, payload = payloads[unit.task_index]
-            shots = tasks[unit.task_index].shots
+                engine = self._make_engine(unit.scheduled, unit.device, options)
+            plan = plans[index]
+            shots = plan.task.shots
             if takes_workers:
                 result = self._execute(
-                    engine, kind, payload, shots, unit.seed, workers=unit_workers
+                    engine, plan.kind, plan.payload, shots, unit.seed,
+                    workers=unit_workers,
                 )
             else:
-                result = self._execute(engine, kind, payload, shots, unit.seed)
+                result = self._execute(engine, plan.kind, plan.payload, shots, unit.seed)
             return result, time.perf_counter() - start
 
-        if workers > 1 and len(units) > 1:
+        if workers > 1 and len(jobs) > 1:
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(job, units))
-        return [job(unit) for unit in units]
+                outcomes = list(pool.map(job, jobs))
+        else:
+            outcomes = [job(entry) for entry in jobs]
+
+        per_plan: List[List[Tuple[SimResult, float]]] = [[] for _ in plans]
+        for (index, _unit), outcome in zip(jobs, outcomes):
+            per_plan[index].append(outcome)
+        return [
+            self._aggregate(plan.task, results, plan.direct)
+            for plan, results in zip(plans, per_plan)
+        ]
 
     # -- aggregation -----------------------------------------------------------
 
@@ -283,8 +257,11 @@ class VectorizedBackend(Backend):
     Seed-for-seed bit-identical to :class:`TrajectoryBackend`: the same
     noise draws are consumed from the same streams in the same order, and
     every batched floating-point operation reproduces the scalar bits.
-    ``chunk_shots`` bounds the states resident per chunk (``None``
-    auto-sizes); any chunk/worker configuration yields the same values.
+    ``chunk_shots`` bounds the states resident per chunk; ``None`` defers
+    to the process-wide ``configure(chunk_shots=...)`` default — read at
+    engine-construction time, so a long-lived backend instance tracks
+    reconfiguration — which is itself auto-sizing when unset. Any
+    chunk/worker configuration yields the same values.
     """
 
     name = "vectorized"
@@ -293,8 +270,13 @@ class VectorizedBackend(Backend):
         self.chunk_shots = chunk_shots
 
     def _make_engine(self, scheduled, device, options) -> VectorizedExecutor:
+        chunk_shots = self.chunk_shots
+        if chunk_shots is None:
+            from .run import default_chunk_shots  # local: run.py imports us
+
+            chunk_shots = default_chunk_shots()
         return VectorizedExecutor(
-            scheduled, device, options, chunk_shots=self.chunk_shots
+            scheduled, device, options, chunk_shots=chunk_shots
         )
 
     def _execute(self, engine, kind, payload, shots, seed, workers=1) -> SimResult:

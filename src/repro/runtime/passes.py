@@ -65,6 +65,17 @@ class Pass:
     def run(self, circuit: Circuit, device: Device, ctx: PassContext) -> Circuit:
         raise NotImplementedError
 
+    def fingerprint(self) -> Optional[str]:
+        """Content key for plan caching, or ``None`` if not addressable.
+
+        The built-in passes return their name plus every parameter that
+        affects the output circuit. Custom passes inherit ``None`` — a safe
+        default that makes any pipeline containing them uncacheable — and
+        should override this once their output is a pure function of the
+        returned key (and the circuit/device).
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -79,6 +90,9 @@ class Orient(Pass):
         ctx.record(self.name, report)
         return out
 
+    def fingerprint(self) -> Optional[str]:
+        return self.name
+
 
 class Twirl(Pass):
     """Sample a fresh Pauli twirl from ``ctx.rng``."""
@@ -91,6 +105,11 @@ class Twirl(Pass):
         ctx.record(self.name, record)
         return out
 
+    def fingerprint(self) -> Optional[str]:
+        # Addressable, but never actually cached: stochastic passes make
+        # their pipeline non-deterministic, which disables plan caching.
+        return self.name
+
 
 class AlignedDD(Pass):
     """Context-unaware aligned X2 sequences on all idle windows."""
@@ -102,6 +121,9 @@ class AlignedDD(Pass):
 
     def run(self, circuit: Circuit, device: Device, ctx: PassContext) -> Circuit:
         return apply_aligned_dd(circuit, device, self.min_duration)
+
+    def fingerprint(self) -> Optional[str]:
+        return f"{self.name}({self.min_duration!r})"
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(min_duration={self.min_duration!r})"
@@ -117,6 +139,9 @@ class StaggeredDD(Pass):
 
     def run(self, circuit: Circuit, device: Device, ctx: PassContext) -> Circuit:
         return apply_staggered_dd(circuit, device, self.min_duration)
+
+    def fingerprint(self) -> Optional[str]:
+        return f"{self.name}({self.min_duration!r})"
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(min_duration={self.min_duration!r})"
@@ -134,6 +159,9 @@ class CADD(Pass):
         out, report = apply_ca_dd(circuit, device, self.min_duration)
         ctx.record(self.name, report)
         return out
+
+    def fingerprint(self) -> Optional[str]:
+        return f"{self.name}({self.min_duration!r})"
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(min_duration={self.min_duration!r})"
@@ -155,6 +183,11 @@ class CAEC(Pass):
         out, report = apply_ca_ec(circuit, device, durations=self.durations)
         ctx.record(self.name, report)
         return out
+
+    def fingerprint(self) -> Optional[str]:
+        # Durations is a frozen dataclass of floats: its repr is exactly
+        # the planner's timing belief, which changes the output circuit.
+        return f"{self.name}({self.durations!r})"
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(durations={self.durations!r})"

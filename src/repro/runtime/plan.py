@@ -1,0 +1,418 @@
+"""Frozen execution plans: the compile side of the plan/execute split.
+
+Compilation and execution used to be interleaved inside each
+:class:`~repro.runtime.backends.Backend`. This module lifts the compile
+stage out into a shared, backend-agnostic artifact:
+
+* :func:`compile_tasks` turns a list of :class:`~repro.runtime.task.Task`
+  objects into :class:`ExecutionPlan` artifacts — the scheduled circuit of
+  every realization, the normalized measurement payload, and the derived
+  per-realization seeds. Every backend (``trajectory``, ``vectorized``,
+  ``density``) consumes the same plans.
+* Because each task owns its RNG stream (seeded from ``task.seed``),
+  compilation is embarrassingly parallel **across** tasks: ``workers > 1``
+  fans tasks out over a thread pool while each task's in-order realization
+  loop stays sequential, so plans are bit-for-bit identical for any worker
+  count.
+* :class:`PlanCache` is a content-addressed cache keyed on (circuit
+  fingerprint, pipeline fingerprint, device fingerprint). Deterministic
+  pipelines compile and schedule once per distinct content key — across
+  tasks and across ``run()`` calls, not just within one task — and because
+  cache hits return the *same* scheduled-circuit object, backends also share
+  one engine (and, for the trajectory engines, the cached static coherent
+  accumulation) for every realization that hits the same key. Simulation
+  options never enter the key: they do not affect compilation or
+  scheduling; they are applied at engine-construction time.
+
+Caching never changes results: only pipelines whose passes consume no
+randomness are cacheable, and the per-realization sub-seeds are always
+drawn fresh from the task's own stream, so a warm cache changes nothing
+but wall time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.circuit import Circuit
+from ..circuits.schedule import ScheduledCircuit, schedule
+from ..device.calibration import Device
+from ..pauli.pauli import Pauli
+from ..sim.executor import SimOptions
+from ..utils.rng import SeedLike, as_generator
+from .pipeline import Pipeline, as_pipeline
+from .task import CircuitLike, Task
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+
+def _hasher() -> "hashlib._Hash":
+    return hashlib.blake2b(digest_size=16)
+
+
+def circuit_fingerprint(circuit: CircuitLike) -> str:
+    """Content hash of a circuit (or scheduled circuit).
+
+    Covers everything that determines compilation and simulation: gate
+    identities (name, params, matrix bytes for custom gates), qubit/clbit
+    wiring, classical conditions, tags, and moment structure. Two circuits
+    with equal fingerprints compile and schedule identically on the same
+    device.
+    """
+    h = _hasher()
+    if isinstance(circuit, ScheduledCircuit):
+        h.update(repr(circuit.durations).encode())
+        circuit = circuit.circuit
+    h.update(f"{circuit.num_qubits}/{circuit.num_clbits}".encode())
+    for moment in circuit.moments:
+        h.update(b"|")
+        for inst in moment:
+            gate = inst.gate
+            h.update(
+                repr(
+                    (
+                        gate.name,
+                        gate.num_qubits,
+                        gate.params,
+                        gate.is_measurement,
+                        gate.is_delay,
+                        gate.dd_fractions,
+                        gate.flip_fractions,
+                        gate.duration_override,
+                        gate.error_scale,
+                        inst.qubits,
+                        inst.clbits,
+                        inst.condition,
+                        inst.tag,
+                    )
+                ).encode()
+            )
+            if gate.matrix is not None:
+                h.update(gate.matrix.tobytes())
+    return h.hexdigest()
+
+
+def device_fingerprint(device: Device) -> str:
+    """Content hash of a device's calibration, topology, and timing."""
+    h = _hasher()
+    h.update(
+        repr(
+            (
+                device.name,
+                device.topology.num_qubits,
+                device.topology.edges,
+                device.qubits,
+                sorted(device.pairs.items()),
+                sorted(device.nnn_zz.items()),
+                device.durations,
+            )
+        ).encode()
+    )
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Plan artifacts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlanUnit:
+    """One seeded simulation job inside a plan.
+
+    Units of a deterministic-pipeline task share one ``scheduled`` object
+    (possibly shared further across tasks via the plan cache); backends key
+    engine reuse on that identity.
+    """
+
+    circuit: CircuitLike
+    scheduled: ScheduledCircuit
+    device: Device
+    seed: SeedLike
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A frozen, backend-agnostic compilation of one task.
+
+    Attributes:
+        task: the originating task (name/shots/realizations metadata).
+        kind: ``"expectations"`` or ``"probabilities"``.
+        payload: normalized observables (``Pauli`` objects) or bit targets.
+        units: the seeded simulation jobs, in realization order.
+        direct: raw single-circuit execution — the unit seed (which may be
+            ``None``) goes straight to the simulator, like the legacy
+            ``expectation_values`` path.
+        collapsible: the task's pipeline is deterministic, so backends whose
+            results ignore the unit seed (exact backends) may execute only
+            the first unit instead of repeating identical evolutions.
+        options: the simulation options the plan was compiled under. The
+            realization sub-seeds of tasks without their own ``seed`` were
+            drawn from ``options.seed`` at compile time, so executing the
+            plan under these options reproduces ``run(tasks, options=...)``
+            exactly — ``run(plans)`` defaults to them.
+        compile_seconds: wall time spent compiling + scheduling this plan.
+        cache_hits / cache_misses: plan-cache activity while compiling.
+    """
+
+    task: Task
+    kind: str
+    payload: Dict
+    units: Tuple[PlanUnit, ...]
+    direct: bool = False
+    collapsible: bool = False
+    options: Optional[SimOptions] = None
+    compile_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def plan_options(plans: Sequence["ExecutionPlan"]) -> Optional[SimOptions]:
+    """The single set of options a batch of plans was compiled under.
+
+    ``None`` when no plan recorded options. Raises if the plans disagree —
+    executing them under any one plan's options would silently change the
+    other plans' noise model (run them separately, or pass options
+    explicitly).
+    """
+    recorded = {p.options for p in plans if p.options is not None}
+    if len(recorded) > 1:
+        raise ValueError(
+            "plans were compiled under different options; execute them "
+            "separately or pass options= explicitly"
+        )
+    return next(iter(recorded)) if recorded else None
+
+
+def _normalize_payload(task: Task) -> Tuple[str, Dict]:
+    if task.observables is not None:
+        paulis = {
+            k: (Pauli.from_label(v) if isinstance(v, str) else v)
+            for k, v in task.observables.items()
+        }
+        return "expectations", paulis
+    return "probabilities", dict(task.bit_targets)
+
+
+def _as_scheduled(circuit: CircuitLike, device: Device) -> ScheduledCircuit:
+    if isinstance(circuit, ScheduledCircuit):
+        return circuit
+    return schedule(circuit, device.durations)
+
+
+# ---------------------------------------------------------------------------
+# Plan cache
+# ---------------------------------------------------------------------------
+
+
+class PlanCache:
+    """Content-addressed LRU cache of compiled + scheduled circuits.
+
+    Keys are ``(circuit fingerprint, pipeline fingerprint, device
+    fingerprint)`` strings; values are the ``(compiled, scheduled)`` pair a
+    deterministic pipeline produced for that content. Thread-safe: lookups
+    take a lock, compilation happens outside it, and on a race the first
+    stored value wins so every caller shares one scheduled object.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, Tuple[CircuitLike, ScheduledCircuit]]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+
+    def get_or_compile(
+        self, key: str, build: Callable[[], Tuple[CircuitLike, ScheduledCircuit]]
+    ) -> Tuple[Tuple[CircuitLike, ScheduledCircuit], bool]:
+        """Return ``((compiled, scheduled), hit)`` for ``key``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry, True
+            self.misses += 1
+        built = build()
+        with self._lock:
+            entry = self._entries.setdefault(key, built)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return entry, False
+
+
+#: Process-wide default cache used by :func:`compile_tasks` (and therefore
+#: by ``run()``). Cleared with ``PLAN_CACHE.clear()``.
+PLAN_CACHE = PlanCache()
+
+
+# ---------------------------------------------------------------------------
+# The shared compile stage
+# ---------------------------------------------------------------------------
+
+
+def _compile_one(
+    task: Task,
+    device: Optional[Device],
+    options: SimOptions,
+    cache: Optional[PlanCache],
+    device_fp: Callable[[Device], Optional[str]],
+    index: int,
+) -> ExecutionPlan:
+    start = time.perf_counter()
+    task_device = task.device or device
+    if task_device is None:
+        raise ValueError(f"task {index} has no device and no default given")
+    kind, payload = _normalize_payload(task)
+    hits = misses = 0
+
+    def finish(units, direct=False, collapsible=False):
+        return ExecutionPlan(
+            task=task,
+            kind=kind,
+            payload=payload,
+            units=tuple(units),
+            direct=direct,
+            collapsible=collapsible,
+            options=options,
+            compile_seconds=time.perf_counter() - start,
+            cache_hits=hits,
+            cache_misses=misses,
+        )
+
+    if task.factory is None and task.pipeline is None and task.realizations == 1:
+        # Raw execution: the circuit runs as-is, seeded directly (matching
+        # expectation_values / bit_probabilities). Deliberately uncached:
+        # raw circuits are essentially never content-repeated, so hashing
+        # them would only pollute the LRU.
+        scheduled = _as_scheduled(task.circuit, task_device)
+        return finish(
+            [PlanUnit(task.circuit, scheduled, task_device, task.seed)],
+            direct=True,
+        )
+
+    rng = as_generator(task.seed if task.seed is not None else options.seed)
+    units: List[PlanUnit] = []
+    if task.factory is not None:
+        for _ in range(task.realizations):
+            compiled = task.factory(rng)
+            sub_seed = int(rng.integers(0, 2**63 - 1))
+            units.append(
+                PlanUnit(
+                    compiled, _as_scheduled(compiled, task_device), task_device, sub_seed
+                )
+            )
+        return finish(units)
+
+    pipeline = as_pipeline(task.pipeline)
+    if pipeline.is_deterministic:
+        # One compile + one schedule, shared by every realization. The
+        # deterministic pipeline draws nothing from ``rng``, so a cache hit
+        # (skipping the compile entirely) leaves the seed stream — and
+        # therefore every simulated value — untouched.
+        def build() -> Tuple[CircuitLike, ScheduledCircuit]:
+            out = pipeline.compile(task.circuit, task_device, seed=rng)
+            return out, _as_scheduled(out, task_device)
+
+        dev_fp = device_fp(task_device) if cache is not None else None
+        pipe_fp = pipeline.fingerprint if cache is not None else None
+        if cache is not None and pipe_fp is not None and dev_fp is not None:
+            key = f"{circuit_fingerprint(task.circuit)}:{pipe_fp}:{dev_fp}"
+            (compiled, scheduled), hit = cache.get_or_compile(key, build)
+            if hit:
+                hits += 1
+            else:
+                misses += 1
+        else:
+            compiled, scheduled = build()
+        for _ in range(task.realizations):
+            sub_seed = int(rng.integers(0, 2**63 - 1))
+            units.append(PlanUnit(compiled, scheduled, task_device, sub_seed))
+        return finish(units, collapsible=True)
+
+    for _ in range(task.realizations):
+        compiled = pipeline.compile(task.circuit, task_device, seed=rng)
+        sub_seed = int(rng.integers(0, 2**63 - 1))
+        units.append(
+            PlanUnit(
+                compiled, _as_scheduled(compiled, task_device), task_device, sub_seed
+            )
+        )
+    return finish(units)
+
+
+def compile_tasks(
+    tasks: Sequence[Task],
+    device: Optional[Device] = None,
+    options: Optional[SimOptions] = None,
+    workers: int = 1,
+    cache: Optional[PlanCache] = PLAN_CACHE,
+) -> List[ExecutionPlan]:
+    """Compile every task into a frozen :class:`ExecutionPlan`.
+
+    ``device`` is the default for tasks without their own. ``workers``
+    bounds the compilation thread pool — tasks compile independently on
+    their own RNG streams, so plans (and therefore results) are identical
+    for any worker count; within a task, realizations always compile
+    sequentially in stream order. Tasks without their own ``seed`` derive
+    their realization stream from ``options.seed`` *now*, at compile time —
+    the plans record ``options`` so that executing them (``run(plans)``)
+    defaults to the matching configuration. Pass ``cache=None`` to disable
+    the content-addressed plan cache for this call.
+    """
+    if isinstance(tasks, Task):
+        tasks = [tasks]
+    options = options or SimOptions()
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+
+    # Device fingerprints are content hashes of calibration data; memoize
+    # per distinct object so a 100-point sweep hashes its device once.
+    fp_memo: Dict[int, str] = {}
+    fp_lock = threading.Lock()
+
+    def device_fp(dev: Device) -> str:
+        key = id(dev)
+        with fp_lock:
+            fp = fp_memo.get(key)
+        if fp is None:
+            fp = device_fingerprint(dev)
+            with fp_lock:
+                fp_memo[key] = fp
+        return fp
+
+    def job(pair: Tuple[int, Task]) -> ExecutionPlan:
+        index, task = pair
+        return _compile_one(task, device, options, cache, device_fp, index)
+
+    if workers > 1 and len(tasks) > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(job, enumerate(tasks)))
+    return [job(pair) for pair in enumerate(tasks)]

@@ -15,12 +15,17 @@ One call schedules, compiles, and simulates any number of tasks::
         backend="trajectory",
         workers=4,
     )
-    batch[0].values, batch[0].errors, batch.wall_time
+    batch[0].values, batch[0].errors, batch.compile_time, batch.exec_time
 
-Compilation runs sequentially (preserving each task's RNG stream) and the
-independently seeded simulations fan out across ``workers`` threads, so
-results are identical for every worker count — ``workers`` only changes
-wall time.
+``run()`` is two stages glued together: the shared
+:func:`~repro.runtime.plan.compile_tasks` stage turns tasks into frozen
+:class:`~repro.runtime.plan.ExecutionPlan` artifacts (parallel across tasks,
+content-cached for deterministic pipelines), and the backend executes the
+plans across ``workers`` threads. Both stages preserve each task's private
+RNG stream, so results are bit-for-bit identical for every
+``compile_workers``/``workers`` combination — the knobs only change wall
+time. Pre-built plans can be passed in place of tasks to skip the compile
+stage entirely.
 """
 
 from __future__ import annotations
@@ -31,19 +36,26 @@ from typing import List, Optional, Sequence, Union
 from ..device.calibration import Device
 from ..sim.executor import SimOptions
 from .backends import BackendLike, get_backend
+from .plan import ExecutionPlan, compile_tasks, plan_options
 from .task import BatchResult, Task
 
-_DEFAULTS = {"workers": 1, "backend": "trajectory"}
+_AUTO = object()  # configure() sentinel: "leave this default unchanged"
+
+_DEFAULTS = {"workers": 1, "backend": "trajectory", "chunk_shots": None}
 
 
 def configure(
-    workers: Optional[int] = None, backend: Optional[BackendLike] = None
+    workers: Optional[int] = None,
+    backend: Optional[BackendLike] = None,
+    chunk_shots=_AUTO,
 ) -> None:
     """Set process-wide runtime defaults (used when ``run(...=None)``).
 
-    The CLI's ``--workers`` / ``--backend`` flags call this so every
-    experiment driver inherits the parallelism and engine choice without
-    plumbing parameters through.
+    The CLI's ``--workers`` / ``--backend`` / ``--chunk-shots`` flags call
+    this so every experiment driver inherits the parallelism, engine choice,
+    and memory bound without plumbing parameters through. ``chunk_shots``
+    bounds the vectorized backend's resident states per chunk; pass ``None``
+    to restore auto-sizing (~32 MiB of amplitudes).
     """
     # Validate everything before mutating anything, so a failed configure()
     # never leaves partially-updated defaults behind.
@@ -51,10 +63,16 @@ def configure(
         raise ValueError("workers must be >= 1")
     if backend is not None:
         get_backend(backend)  # fail at configure time, not first run()
+    if chunk_shots is not _AUTO and chunk_shots is not None:
+        chunk_shots = int(chunk_shots)
+        if chunk_shots < 1:
+            raise ValueError("chunk_shots must be >= 1 (or None for auto)")
     if workers is not None:
         _DEFAULTS["workers"] = int(workers)
     if backend is not None:
         _DEFAULTS["backend"] = backend
+    if chunk_shots is not _AUTO:
+        _DEFAULTS["chunk_shots"] = chunk_shots
 
 
 def default_workers() -> int:
@@ -65,34 +83,74 @@ def default_backend() -> BackendLike:
     return _DEFAULTS["backend"]
 
 
+def default_chunk_shots() -> Optional[int]:
+    return _DEFAULTS["chunk_shots"]
+
+
+RunInput = Union[Task, ExecutionPlan, Sequence[Task], Sequence[ExecutionPlan]]
+
+
 def run(
-    tasks: Union[Task, Sequence[Task]],
+    tasks: RunInput,
     device: Optional[Device] = None,
     backend: Optional[BackendLike] = None,
     options: Optional[SimOptions] = None,
     workers: Optional[int] = None,
+    compile_workers: Optional[int] = None,
 ) -> BatchResult:
-    """Execute one or more tasks on a backend; results keep task order.
+    """Execute tasks (or pre-built plans) on a backend; results keep order.
 
     ``device`` is the default for tasks that don't carry their own.
     ``backend`` is a registered name (``"trajectory"``, ``"vectorized"``,
     ``"density"``) or a :class:`~repro.runtime.backends.Backend` instance;
-    ``None`` uses the configured default (``"trajectory"`` unless
-    :func:`configure` changed it). ``workers=N`` fans the simulations out
-    over N threads (``None`` uses the configured default).
+    ``None`` uses the configured default. ``workers=N`` fans the simulations
+    out over N threads and ``compile_workers`` (default: ``workers``) the
+    task compilations; results are identical for every combination. Passing
+    :class:`~repro.runtime.plan.ExecutionPlan` objects (from
+    :func:`~repro.runtime.plan.compile_tasks`) skips the compile stage, so
+    one set of plans can be executed on several backends; with
+    ``options=None`` the plans' compile-time options are reused, which is
+    what makes the two-stage path reproduce the one-stage one exactly
+    (realization sub-seeds were already derived at compile time).
     """
-    if isinstance(tasks, Task):
+    if isinstance(tasks, (Task, ExecutionPlan)):
         tasks = [tasks]
-    task_list: List[Task] = list(tasks)
+    items = list(tasks)
     engine = get_backend(backend if backend is not None else default_backend())
     count = default_workers() if workers is None else int(workers)
     if count < 1:
         raise ValueError("workers must be >= 1")
+    compile_count = count if compile_workers is None else int(compile_workers)
+    if compile_count < 1:
+        raise ValueError("compile_workers must be >= 1")
+
     start = time.perf_counter()
-    results = engine.run(task_list, device=device, options=options, workers=count)
+    if items and all(isinstance(item, ExecutionPlan) for item in items):
+        # Pre-built plans: report the compile seconds recorded at build
+        # time; wall_time covers only the work done in this call.
+        plans: List[ExecutionPlan] = items
+        if options is None:
+            options = plan_options(plans)
+        compile_time = sum(p.compile_seconds for p in plans)
+    else:
+        if any(isinstance(item, ExecutionPlan) for item in items):
+            raise TypeError(
+                "cannot mix Task and ExecutionPlan objects in one run(); "
+                "compile the tasks first and concatenate the plans"
+            )
+        options = options or SimOptions()
+        plans = compile_tasks(
+            items, device=device, options=options, workers=compile_count
+        )
+        compile_time = time.perf_counter() - start
+    exec_start = time.perf_counter()
+    results = engine.execute_plans(plans, options=options, workers=count)
+    exec_time = time.perf_counter() - exec_start
     return BatchResult(
         results=results,
         backend=engine.name,
         workers=count,
         wall_time=time.perf_counter() - start,
+        compile_time=compile_time,
+        exec_time=exec_time,
     )

@@ -94,12 +94,20 @@ class TaskResult(SimResult):
 
 @dataclass
 class BatchResult:
-    """Per-task results plus batch-level run metadata."""
+    """Per-task results plus batch-level run metadata.
+
+    ``compile_time`` / ``exec_time`` split the wall time between the shared
+    compile stage (task -> :class:`~repro.runtime.plan.ExecutionPlan`) and
+    backend execution, so sweeps can report where the time went (and the
+    benchmarks can measure the plan cache).
+    """
 
     results: List[TaskResult]
     backend: str = ""
     workers: int = 1
     wall_time: float = 0.0
+    compile_time: float = 0.0
+    exec_time: float = 0.0
 
     @property
     def shots(self) -> int:

@@ -1,0 +1,357 @@
+"""Plan/execute split tests: compile_tasks, ExecutionPlan, and the cache.
+
+The load-bearing guarantees:
+
+* results are bit-identical for every (compile workers x sim workers x
+  backend) combination — parallelism only changes wall time;
+* a warm plan cache changes nothing but wall time;
+* the cache is content-addressed: only deterministic pipelines participate,
+  and any change to circuit, recipe parameters, or device changes the key.
+"""
+
+import itertools
+
+import pytest
+
+from repro import (
+    Circuit,
+    ExecutionPlan,
+    Pipeline,
+    SimOptions,
+    Task,
+    compile_tasks,
+    run,
+)
+from repro.runtime import (
+    CADD,
+    CAEC,
+    PLAN_CACHE,
+    AlignedDD,
+    Pass,
+    PlanCache,
+    Twirl,
+    circuit_fingerprint,
+    device_fingerprint,
+    get_backend,
+    pipeline_for,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Every test starts (and leaves) the process-wide cache empty."""
+    PLAN_CACHE.clear()
+    yield
+    PLAN_CACHE.clear()
+
+
+def layered_circuit(num_qubits: int = 4, layers: int = 2) -> Circuit:
+    circ = Circuit(num_qubits)
+    for q in range(num_qubits):
+        circ.h(q, new_moment=(q == 0))
+    for _ in range(layers):
+        circ.can(0.3, 0.2, 0.4, 0, 1, new_moment=True)
+        circ.append_moment([])
+        circ.can(0.1, 0.5, 0.2, 2, 3, new_moment=True)
+        circ.append_moment([])
+    return circ
+
+
+OBS = {"x2": "IXII", "x3": "XIII"}
+
+
+def det_pipeline() -> Pipeline:
+    """A deterministic (twirl-free, therefore cacheable) recipe."""
+    return Pipeline([CADD(), CAEC()])
+
+
+def mixed_tasks():
+    """Stochastic + deterministic + direct tasks in one batch."""
+    circ = layered_circuit()
+    return [
+        Task(circ, observables=OBS, pipeline="ca_ec+dd", realizations=3, seed=11),
+        Task(circ, observables=OBS, pipeline=det_pipeline(), realizations=2,
+             seed=12),
+        Task(circ, observables=OBS, seed=13),
+        Task(circ, bit_targets={"f": {0: 0}}, pipeline="ca_dd", realizations=2,
+             seed=14),
+    ]
+
+
+def batch_signature(batch):
+    return [(r.values, r.errors, r.shots, r.realizations) for r in batch]
+
+
+class TestCompileTasks:
+    def test_plans_execute_identically_to_run(self, chain4):
+        opts = SimOptions(shots=4)
+        via_tasks = run(mixed_tasks(), chain4, options=opts)
+        plans = compile_tasks(mixed_tasks(), chain4, options=opts)
+        assert all(isinstance(p, ExecutionPlan) for p in plans)
+        via_plans = run(plans, options=opts)
+        assert batch_signature(via_tasks) == batch_signature(via_plans)
+
+    def test_one_plan_runs_on_every_backend(self, chain4):
+        """The same pre-built plans feed all three engines."""
+        opts = SimOptions(shots=4)
+        plans = compile_tasks(
+            [Task(layered_circuit(), observables=OBS, pipeline=det_pipeline(),
+                  seed=3)],
+            chain4,
+            options=opts,
+        )
+        for backend in ("trajectory", "vectorized", "density"):
+            direct = run(
+                Task(layered_circuit(), observables=OBS,
+                     pipeline=det_pipeline(), seed=3),
+                chain4, options=opts, backend=backend,
+            )
+            via_plans = run(plans, options=opts, backend=backend)
+            assert batch_signature(direct) == batch_signature(via_plans)
+
+    def test_plans_remember_compile_options(self, chain4):
+        """run(plans) without options reuses the compile-time options, so
+        the two-stage path reproduces run(tasks, options=...) exactly even
+        for seedless tasks whose sub-seeds were baked at compile time."""
+        opts = SimOptions(shots=9, seed=21)
+        tasks = [
+            Task(layered_circuit(), observables=OBS, pipeline=det_pipeline(),
+                 realizations=2)  # no task seed: stream comes from options
+        ]
+        one_stage = run(tasks, chain4, options=opts)
+        plans = compile_tasks(tasks, chain4, options=opts)
+        assert plans[0].options is opts
+        two_stage = run(plans)  # no options: plans' compile options apply
+        assert batch_signature(one_stage) == batch_signature(two_stage)
+        assert two_stage[0].shots == 18  # 2 realizations x 9 shots
+
+    def test_mixed_tasks_and_plans_rejected(self, chain4):
+        plans = compile_tasks(
+            [Task(layered_circuit(), observables=OBS, seed=1)], chain4
+        )
+        with pytest.raises(TypeError, match="cannot mix"):
+            run([Task(layered_circuit(), observables=OBS, seed=2), plans[0]],
+                chain4)
+
+    def test_plans_with_conflicting_options_rejected(self, chain4):
+        """Executing plans compiled under different noise models would
+        silently apply one model to the other's circuits — refuse instead."""
+        a = compile_tasks(
+            [Task(layered_circuit(), observables=OBS, seed=1)], chain4,
+            options=SimOptions(shots=4),
+        )
+        b = compile_tasks(
+            [Task(layered_circuit(), observables=OBS, seed=1)], chain4,
+            options=SimOptions(shots=4, gate_errors=False),
+        )
+        with pytest.raises(ValueError, match="different options"):
+            run(a + b)
+        # ... unless the caller states which options to use.
+        batch = run(a + b, options=SimOptions(shots=4))
+        assert len(batch) == 2
+
+    def test_direct_tasks_stay_out_of_the_cache(self, chain4):
+        """Raw circuits are never content-repeated; hashing them would only
+        pollute the LRU (layer-fidelity pushes 100s of unique circuits)."""
+        compile_tasks(
+            [Task(layered_circuit(), observables=OBS, seed=1)], chain4
+        )
+        assert len(PLAN_CACHE) == 0
+        assert PLAN_CACHE.stats == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_execute_plans_backend_api(self, chain4):
+        opts = SimOptions(shots=4)
+        plans = compile_tasks(mixed_tasks(), chain4, options=opts)
+        results = get_backend("trajectory").execute_plans(plans, options=opts)
+        reference = run(mixed_tasks(), chain4, options=opts)
+        assert batch_signature(results) == batch_signature(reference)
+
+    def test_plan_metadata(self, chain4):
+        plans = compile_tasks(mixed_tasks(), chain4)
+        assert len(plans[0].units) == 3 and not plans[0].collapsible  # twirled
+        assert len(plans[1].units) == 2 and plans[1].collapsible  # deterministic
+        assert plans[2].direct and len(plans[2].units) == 1
+        assert plans[0].kind == "expectations"
+        assert plans[3].kind == "probabilities"
+        assert all(p.compile_seconds >= 0.0 for p in plans)
+
+    def test_deterministic_realizations_share_scheduled(self, chain4):
+        plan = compile_tasks(
+            [Task(layered_circuit(), observables=OBS, pipeline=det_pipeline(),
+                  realizations=4, seed=0)],
+            chain4,
+        )[0]
+        assert len({id(u.scheduled) for u in plan.units}) == 1
+
+    def test_missing_device_raises(self):
+        with pytest.raises(ValueError, match="no device"):
+            compile_tasks([Task(layered_circuit(), observables=OBS)])
+
+
+class TestWorkerInvariance:
+    """Property: any (compile workers x sim workers x backend) combination
+    is bit-identical — the acceptance guarantee of the plan/execute split."""
+
+    @pytest.mark.parametrize("backend", ["trajectory", "vectorized", "density"])
+    def test_grid_bit_identical(self, chain4, backend):
+        opts = SimOptions(shots=4)
+        reference = run(
+            mixed_tasks(), chain4, options=opts, backend=backend,
+            workers=1, compile_workers=1,
+        )
+        for compile_workers, workers in itertools.product((1, 2, 3), (1, 2, 3)):
+            if (compile_workers, workers) == (1, 1):
+                continue
+            PLAN_CACHE.clear()
+            batch = run(
+                mixed_tasks(), chain4, options=opts, backend=backend,
+                workers=workers, compile_workers=compile_workers,
+            )
+            assert batch_signature(batch) == batch_signature(reference), (
+                f"compile_workers={compile_workers}, workers={workers}"
+            )
+
+    def test_backend_run_entry_point_invariant(self, chain4):
+        """Backend.run (bypassing run()) honors the same guarantee."""
+        opts = SimOptions(shots=4)
+        engine = get_backend("trajectory")
+        serial = engine.run(mixed_tasks(), chain4, options=opts)
+        threaded = engine.run(
+            mixed_tasks(), chain4, options=opts, workers=3, compile_workers=2
+        )
+        assert batch_signature(serial) == batch_signature(threaded)
+
+
+class TestPlanCache:
+    def test_warm_cache_changes_nothing_but_wall_time(self, chain4):
+        """Property: re-running any task list against a warm cache yields
+        bit-identical results, for any worker combination."""
+        opts = SimOptions(shots=4)
+        cold = run(mixed_tasks(), chain4, options=opts)
+        assert PLAN_CACHE.misses > 0
+        for compile_workers, workers in ((1, 1), (2, 3)):
+            warm = run(
+                mixed_tasks(), chain4, options=opts,
+                workers=workers, compile_workers=compile_workers,
+            )
+            assert batch_signature(warm) == batch_signature(cold)
+        assert PLAN_CACHE.hits > 0
+
+    def test_cache_shares_plans_across_tasks_in_one_batch(self, chain4):
+        """Two tasks with the same (circuit, recipe, device) content hit the
+        same cache entry and share one scheduled artifact."""
+        tasks = [
+            Task(layered_circuit(), observables=OBS, pipeline=det_pipeline(),
+                 realizations=2, seed=s)
+            for s in (1, 2)
+        ]
+        plans = compile_tasks(tasks, chain4)
+        assert PLAN_CACHE.misses == 1
+        assert PLAN_CACHE.hits == 1
+        assert id(plans[0].units[0].scheduled) == id(plans[1].units[0].scheduled)
+        # ... while the derived seeds still follow each task's own stream.
+        assert plans[0].units[0].seed != plans[1].units[0].seed
+
+    def test_stochastic_pipelines_bypass_the_cache(self, chain4):
+        tasks = [
+            Task(layered_circuit(), observables=OBS, pipeline="ca_ec+dd",
+                 realizations=2, seed=s)
+            for s in (1, 2)
+        ]
+        compile_tasks(tasks, chain4)
+        assert PLAN_CACHE.hits == 0
+        assert PLAN_CACHE.misses == 0
+
+    def test_unfingerprintable_pass_bypasses_the_cache(self, chain4):
+        class Opaque(Pass):
+            name = "opaque"
+
+            def run(self, circuit, device, ctx):
+                return circuit
+
+        pipeline = Pipeline([Opaque()])
+        assert pipeline.is_deterministic
+        assert pipeline.fingerprint is None
+        compile_tasks(
+            [Task(layered_circuit(), observables=OBS, pipeline=pipeline, seed=0,
+                  realizations=2)],
+            chain4,
+        )
+        assert len(PLAN_CACHE) == 0
+
+    def test_cache_disabled_with_none(self, chain4):
+        compile_tasks(
+            [Task(layered_circuit(), observables=OBS, pipeline=det_pipeline(),
+                  seed=0)],
+            chain4,
+            cache=None,
+        )
+        assert len(PLAN_CACHE) == 0
+
+    def test_lru_eviction(self, chain4):
+        cache = PlanCache(maxsize=2)
+        for layers in (1, 2, 3):
+            compile_tasks(
+                [Task(layered_circuit(layers=layers), observables=OBS,
+                      pipeline=det_pipeline(), seed=0)],
+                chain4,
+                cache=cache,
+            )
+        assert len(cache) == 2
+        assert cache.stats == {"hits": 0, "misses": 3, "entries": 2}
+
+    def test_rejects_bad_maxsize(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            PlanCache(maxsize=0)
+
+
+class TestFingerprints:
+    def test_circuit_fingerprint_is_content_addressed(self):
+        a, b = layered_circuit(), layered_circuit()
+        assert circuit_fingerprint(a) == circuit_fingerprint(b)
+        b.h(0)
+        assert circuit_fingerprint(a) != circuit_fingerprint(b)
+
+    def test_circuit_fingerprint_sees_params_and_tags(self):
+        base = layered_circuit()
+        rotated = layered_circuit()
+        rotated.rz(0.1, 0)
+        other_angle = layered_circuit()
+        other_angle.rz(0.2, 0)
+        assert circuit_fingerprint(rotated) != circuit_fingerprint(other_angle)
+        tagged = layered_circuit()
+        tagged.moments[0] = type(tagged.moments[0])(
+            [inst.with_tag("dd") for inst in tagged.moments[0]]
+        )
+        assert circuit_fingerprint(base) != circuit_fingerprint(tagged)
+
+    def test_device_fingerprint_sees_calibration(self, chain4, chain2):
+        assert device_fingerprint(chain4) == device_fingerprint(chain4)
+        assert device_fingerprint(chain4) != device_fingerprint(chain2)
+
+    def test_pipeline_fingerprint_sees_pass_parameters(self):
+        assert (
+            Pipeline([AlignedDD(100.0)]).fingerprint
+            != Pipeline([AlignedDD(200.0)]).fingerprint
+        )
+        assert Pipeline([CADD(), CAEC()]).fingerprint == Pipeline(
+            [CADD(), CAEC()]
+        ).fingerprint
+        assert Pipeline(()).fingerprint == "identity"
+
+    def test_named_recipes_have_fingerprints(self):
+        for name in ("none", "dd", "staggered_dd", "ca_dd", "ca_ec", "ca_ec+dd"):
+            assert pipeline_for(name).fingerprint is not None
+
+    def test_twirl_makes_pipeline_uncacheable_but_fingerprintable(self):
+        pipeline = Pipeline([Twirl(), CADD()])
+        assert pipeline.fingerprint is not None
+        assert not pipeline.is_deterministic
+
+
+class TestBatchTiming:
+    def test_compile_exec_split_reported(self, chain4):
+        batch = run(mixed_tasks(), chain4, options=SimOptions(shots=2))
+        assert batch.compile_time > 0.0
+        assert batch.exec_time > 0.0
+        assert batch.wall_time >= max(batch.compile_time, batch.exec_time)
