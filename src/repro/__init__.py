@@ -88,6 +88,7 @@ from .runtime import (
     PassContext,
     Pipeline,
     PlanCache,
+    PlanStore,
     StaggeredDD,
     Sweep,
     SweepResult,
@@ -96,6 +97,7 @@ from .runtime import (
     Twirl,
     VectorizedBackend,
     compile_tasks,
+    configure,
     get_backend,
     pipeline_for,
     register_backend,
@@ -111,7 +113,7 @@ from .sim import (
     expectation_values,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Circuit",
@@ -152,11 +154,13 @@ __all__ = [
     "PassContext",
     "Pipeline",
     "PlanCache",
+    "PlanStore",
     "Sweep",
     "SweepResult",
     "Task",
     "TaskResult",
     "compile_tasks",
+    "configure",
     "Orient",
     "Twirl",
     "AlignedDD",

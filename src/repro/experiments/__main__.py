@@ -17,6 +17,15 @@ choice, only the wall time changes). ``--chunk-shots`` bounds the
 vectorized engine's resident states per chunk (0 = auto-size). ``--json
 PATH`` writes every requested experiment's result — including the full
 per-point Sweep serialization — as one JSON document.
+
+Compile-stage knobs (none of them changes a value, only wall time):
+``--plan-cache off|memory|disk`` selects the plan-cache mode — ``disk``
+persists compiled schedules under ``~/.cache/repro-plans`` (or a directory
+given directly: ``--plan-cache /path/to/cache``) so a second invocation of
+the same figure warm-starts its compile stage; ``--compile-mode process``
+fans compilation out over a process pool instead of threads;
+``--compile-workers N`` sets the compile-stage parallelism (default: the
+simulation ``--workers``).
 """
 
 from __future__ import annotations
@@ -180,16 +189,51 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="write the full results (per-point Sweep serialization) as JSON",
     )
+    parser.add_argument(
+        "--plan-cache",
+        default=None,
+        metavar="MODE",
+        help="plan-cache mode: off, memory (default), or disk (persist "
+        "compiled schedules so a repeated figure warm-starts); any other "
+        "value is taken as a disk-cache directory",
+    )
+    parser.add_argument(
+        "--compile-mode",
+        default=None,
+        choices=("thread", "process"),
+        help="compile-stage fan-out: thread (default) or process "
+        "(sidesteps the GIL; results are identical either way)",
+    )
+    parser.add_argument(
+        "--compile-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="compile-stage parallelism (default: the simulation --workers)",
+    )
     args = parser.parse_args(argv)
 
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be >= 1")
     if args.chunk_shots is not None and args.chunk_shots < 0:
         parser.error("--chunk-shots must be >= 1 (or 0 for auto)")
+    if args.compile_workers is not None and args.compile_workers < 1:
+        parser.error("--compile-workers must be >= 1")
+    plan_cache_mode = plan_cache_dir = None
+    if args.plan_cache is not None:
+        if args.plan_cache in ("off", "memory", "disk"):
+            plan_cache_mode = args.plan_cache
+        else:
+            # A path selects disk mode rooted there — the one-flag spelling
+            # for "cache this run's plans in that directory".
+            plan_cache_mode, plan_cache_dir = "disk", args.plan_cache
     if (
         args.workers is not None
         or args.backend is not None
         or args.chunk_shots is not None
+        or args.compile_mode is not None
+        or args.compile_workers is not None
+        or plan_cache_mode is not None
     ):
         from ..runtime import configure
 
@@ -197,6 +241,17 @@ def main(argv=None) -> int:
             configure(workers=args.workers, backend=args.backend)
             if args.chunk_shots is not None:
                 configure(chunk_shots=args.chunk_shots or None)
+            if args.compile_mode is not None:
+                configure(compile_mode=args.compile_mode)
+            if args.compile_workers is not None:
+                configure(compile_workers=args.compile_workers)
+            if plan_cache_mode is not None:
+                if plan_cache_dir is not None:
+                    configure(
+                        plan_cache=plan_cache_mode, plan_cache_dir=plan_cache_dir
+                    )
+                else:
+                    configure(plan_cache=plan_cache_mode)
         except ValueError as exc:
             parser.error(str(exc))
 

@@ -40,22 +40,30 @@ from .backends import (
 from .passes import CADD, CAEC, AlignedDD, Orient, Pass, PassContext, StaggeredDD, Twirl
 from .pipeline import IDENTITY, Pipeline, as_pipeline, pipeline_for
 from .plan import (
+    COMPILE_MODES,
     PLAN_CACHE,
+    PLAN_CACHE_MODES,
     ExecutionPlan,
     PlanCache,
     PlanUnit,
     circuit_fingerprint,
     compile_tasks,
+    configure_plan_cache,
+    default_plan_cache,
     device_fingerprint,
+    plan_cache_mode,
     plan_options,
 )
 from .run import (
     configure,
     default_backend,
     default_chunk_shots,
+    default_compile_mode,
+    default_compile_workers,
     default_workers,
     run,
 )
+from .store import PlanStore
 from .sweep import Sweep, SweepResult
 from .task import BatchResult, Task, TaskResult
 
@@ -79,17 +87,25 @@ __all__ = [
     "Pipeline",
     "as_pipeline",
     "pipeline_for",
+    "COMPILE_MODES",
     "PLAN_CACHE",
+    "PLAN_CACHE_MODES",
     "ExecutionPlan",
     "PlanCache",
+    "PlanStore",
     "PlanUnit",
     "circuit_fingerprint",
     "compile_tasks",
+    "configure_plan_cache",
+    "default_plan_cache",
     "device_fingerprint",
+    "plan_cache_mode",
     "plan_options",
     "configure",
     "default_backend",
     "default_chunk_shots",
+    "default_compile_mode",
+    "default_compile_workers",
     "default_workers",
     "run",
     "Sweep",

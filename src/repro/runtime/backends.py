@@ -49,6 +49,7 @@ from ..sim.vectorized import VectorizedExecutor
 from ..utils.rng import SeedLike
 from .plan import (
     PLAN_CACHE,
+    USE_DEFAULT_CACHE,
     ExecutionPlan,
     PlanCache,
     PlanUnit,
@@ -59,7 +60,21 @@ from .task import Task, TaskResult
 
 
 class Backend(ABC):
-    """Common interface: ``run(tasks, ...) -> list[TaskResult]``."""
+    """Common interface: ``run(tasks, ...) -> list[TaskResult]``.
+
+    A backend owns only the *execute* side of the plan/execute split: it
+    turns frozen :class:`~repro.runtime.plan.ExecutionPlan` artifacts into
+    :class:`~repro.runtime.task.TaskResult` objects
+    (:meth:`execute_plans`), while :meth:`run` is the compile + execute
+    stages glued together. Implementations provide two hooks —
+    :meth:`_make_engine` (build a simulator for one scheduled circuit) and
+    :meth:`_execute` (run one seeded simulation) — and inherit batching,
+    worker fan-out, engine sharing, and realization aggregation.
+
+    Register new backends (GPU, distributed, hardware-facing, ...) with
+    :func:`register_backend`; select them by name in
+    :func:`~repro.runtime.run.run`.
+    """
 
     name: str = ""
     #: False for exact backends whose results ignore the unit seed; the
@@ -74,15 +89,26 @@ class Backend(ABC):
         options: Optional[SimOptions] = None,
         workers: int = 1,
         compile_workers: Optional[int] = None,
-        cache: Optional[PlanCache] = PLAN_CACHE,
+        cache: Optional[PlanCache] = USE_DEFAULT_CACHE,
+        compile_mode: Optional[str] = None,
     ) -> List[TaskResult]:
         """Compile every task, then execute the plans; results keep order.
 
-        ``device`` is the default for tasks without their own; ``workers``
-        bounds the simulation thread pool and ``compile_workers`` (default:
-        ``workers``) the compilation pool. Tasks compile on their own RNG
-        streams and simulate from derived seeds, so results are invariant
-        under both worker counts.
+        Args:
+            tasks: the tasks to compile and execute.
+            device: default device for tasks without their own.
+            workers: simulation thread-pool bound.
+            compile_workers: compilation fan-out (default: ``workers``).
+            cache: plan cache override; defaults to the configured
+                process-wide cache (pass ``None`` to bypass caching).
+            compile_mode: ``"thread"``/``"process"`` compile fan-out;
+                ``None`` uses the configured default.
+
+        Returns:
+            One :class:`~repro.runtime.task.TaskResult` per task, in
+            order. Tasks compile on their own RNG streams and simulate
+            from derived seeds, so results are invariant under both worker
+            counts and the compile mode.
         """
         options = options or SimOptions()
         plans = compile_tasks(
@@ -91,6 +117,7 @@ class Backend(ABC):
             options=options,
             workers=compile_workers if compile_workers is not None else workers,
             cache=cache,
+            mode=compile_mode,
         )
         return self.execute_plans(plans, options=options, workers=workers)
 
@@ -326,7 +353,20 @@ BACKENDS: Dict[str, Callable[[], Backend]] = {}
 def register_backend(
     name: str, factory: Callable[[], Backend], overwrite: bool = False
 ) -> None:
-    """Register a backend factory under ``name`` for use by ``run()``."""
+    """Register a backend factory under ``name`` for use by ``run()``.
+
+    Args:
+        name: the identifier users pass as ``run(..., backend=name)`` (or
+            ``--backend name`` on the CLI).
+        factory: zero-argument callable returning a fresh
+            :class:`Backend` instance (typically the class itself).
+        overwrite: allow replacing an existing registration; without it a
+            name collision raises ``ValueError``.
+
+    Example:
+        >>> register_backend("my-engine", MyBackend)  # doctest: +SKIP
+        >>> run(tasks, device, backend="my-engine")   # doctest: +SKIP
+    """
     if name in BACKENDS and not overwrite:
         raise ValueError(f"backend {name!r} already registered")
     BACKENDS[name] = factory

@@ -19,43 +19,87 @@ One call schedules, compiles, and simulates any number of tasks::
 
 ``run()`` is two stages glued together: the shared
 :func:`~repro.runtime.plan.compile_tasks` stage turns tasks into frozen
-:class:`~repro.runtime.plan.ExecutionPlan` artifacts (parallel across tasks,
-content-cached for deterministic pipelines), and the backend executes the
-plans across ``workers`` threads. Both stages preserve each task's private
-RNG stream, so results are bit-for-bit identical for every
-``compile_workers``/``workers`` combination — the knobs only change wall
-time. Pre-built plans can be passed in place of tasks to skip the compile
-stage entirely.
+:class:`~repro.runtime.plan.ExecutionPlan` artifacts (parallel across tasks
+— threads or processes via ``compile_mode`` — and content-cached for
+deterministic pipelines, optionally persisting to disk so later processes
+warm-start), and the backend executes the plans across ``workers``
+threads. Both stages preserve each task's private RNG stream, so results
+are bit-for-bit identical for every ``compile_workers`` / ``workers`` /
+``compile_mode`` / cache-temperature combination — the knobs only change
+wall time. Pre-built plans can be passed in place of tasks to skip the
+compile stage entirely. :func:`configure` sets process-wide defaults for
+all of these knobs (the CLI flags map onto it one-to-one).
 """
 
 from __future__ import annotations
 
 import time
+from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
 from ..device.calibration import Device
 from ..sim.executor import SimOptions
 from .backends import BackendLike, get_backend
-from .plan import ExecutionPlan, compile_tasks, plan_options
+from .plan import (
+    COMPILE_MODES,
+    ExecutionPlan,
+    compile_tasks,
+    configure_plan_cache,
+    plan_options,
+)
 from .task import BatchResult, Task
 
 _AUTO = object()  # configure() sentinel: "leave this default unchanged"
 
-_DEFAULTS = {"workers": 1, "backend": "trajectory", "chunk_shots": None}
+_DEFAULTS = {
+    "workers": 1,
+    "backend": "trajectory",
+    "chunk_shots": None,
+    "compile_mode": "thread",
+    "compile_workers": None,  # None -> follow the run's ``workers``
+}
 
 
 def configure(
     workers: Optional[int] = None,
     backend: Optional[BackendLike] = None,
     chunk_shots=_AUTO,
+    compile_mode: Optional[str] = None,
+    compile_workers=_AUTO,
+    plan_cache: Optional[str] = None,
+    plan_cache_dir: Union[str, Path, None] = _AUTO,
+    plan_cache_bytes: Optional[int] = _AUTO,
 ) -> None:
     """Set process-wide runtime defaults (used when ``run(...=None)``).
 
-    The CLI's ``--workers`` / ``--backend`` / ``--chunk-shots`` flags call
-    this so every experiment driver inherits the parallelism, engine choice,
-    and memory bound without plumbing parameters through. ``chunk_shots``
-    bounds the vectorized backend's resident states per chunk; pass ``None``
-    to restore auto-sizing (~32 MiB of amplitudes).
+    The CLI's flags (``--workers``, ``--backend``, ``--chunk-shots``,
+    ``--compile-mode``, ``--compile-workers``, ``--plan-cache``) call this
+    so every experiment driver inherits the parallelism, engine choice,
+    memory bound, and cache policy without plumbing parameters through.
+
+    Args:
+        workers: default simulation-thread count for ``run()``.
+        backend: default backend name or instance (validated immediately).
+        chunk_shots: vectorized backend's resident states per chunk;
+            ``None`` restores auto-sizing (~32 MiB of amplitudes).
+        compile_mode: ``"thread"`` (default) or ``"process"`` — how
+            ``compile_tasks`` fans out. Process mode sidesteps the GIL for
+            pure-Python pass pipelines; results are identical either way.
+        compile_workers: default compile-stage parallelism; ``None`` makes
+            each run reuse its ``workers`` value.
+        plan_cache: plan-cache mode — ``"off"``, ``"memory"`` (default), or
+            ``"disk"`` (persist compiled schedules so a second process
+            warm-starts). See
+            :func:`repro.runtime.plan.configure_plan_cache`.
+        plan_cache_dir: disk-store root; ``None`` restores the default
+            (``~/.cache/repro-plans``, overridable via
+            ``REPRO_PLAN_CACHE_DIR`` / ``XDG_CACHE_HOME``).
+        plan_cache_bytes: disk-store size bound (LRU eviction beyond it).
+
+    Example:
+        >>> configure(backend="vectorized", workers=4)
+        >>> configure(plan_cache="disk", compile_mode="process")
+        >>> configure(plan_cache="memory", compile_mode="thread")  # undo
     """
     # Validate everything before mutating anything, so a failed configure()
     # never leaves partially-updated defaults behind.
@@ -67,24 +111,60 @@ def configure(
         chunk_shots = int(chunk_shots)
         if chunk_shots < 1:
             raise ValueError("chunk_shots must be >= 1 (or None for auto)")
+    if compile_mode is not None and compile_mode not in COMPILE_MODES:
+        raise ValueError(
+            f"compile_mode must be one of {COMPILE_MODES}, got {compile_mode!r}"
+        )
+    if compile_workers is not _AUTO and compile_workers is not None:
+        compile_workers = int(compile_workers)
+        if compile_workers < 1:
+            raise ValueError("compile_workers must be >= 1 (or None for auto)")
+    if plan_cache is not None or plan_cache_dir is not _AUTO or (
+        plan_cache_bytes is not _AUTO
+    ):
+        # Delegated validation happens first, so a bad cache spec leaves
+        # the other defaults untouched too.
+        cache_kwargs = {}
+        if plan_cache_dir is not _AUTO:
+            cache_kwargs["directory"] = plan_cache_dir
+        if plan_cache_bytes is not _AUTO:
+            cache_kwargs["max_bytes"] = plan_cache_bytes
+        configure_plan_cache(plan_cache, **cache_kwargs)
     if workers is not None:
         _DEFAULTS["workers"] = int(workers)
     if backend is not None:
         _DEFAULTS["backend"] = backend
     if chunk_shots is not _AUTO:
         _DEFAULTS["chunk_shots"] = chunk_shots
+    if compile_mode is not None:
+        _DEFAULTS["compile_mode"] = compile_mode
+    if compile_workers is not _AUTO:
+        _DEFAULTS["compile_workers"] = compile_workers
 
 
 def default_workers() -> int:
+    """The configured default simulation-worker count."""
     return _DEFAULTS["workers"]
 
 
 def default_backend() -> BackendLike:
+    """The configured default backend (name or instance)."""
     return _DEFAULTS["backend"]
 
 
 def default_chunk_shots() -> Optional[int]:
+    """The configured vectorized chunk bound (``None`` = auto-size)."""
     return _DEFAULTS["chunk_shots"]
+
+
+def default_compile_mode() -> str:
+    """The configured compile fan-out mode: ``"thread"`` or ``"process"``."""
+    return _DEFAULTS["compile_mode"]
+
+
+def default_compile_workers() -> Optional[int]:
+    """The configured compile-worker count (``None`` = follow ``workers``)."""
+    return _DEFAULTS["compile_workers"]
 
 
 RunInput = Union[Task, ExecutionPlan, Sequence[Task], Sequence[ExecutionPlan]]
@@ -97,21 +177,49 @@ def run(
     options: Optional[SimOptions] = None,
     workers: Optional[int] = None,
     compile_workers: Optional[int] = None,
+    compile_mode: Optional[str] = None,
 ) -> BatchResult:
     """Execute tasks (or pre-built plans) on a backend; results keep order.
 
-    ``device`` is the default for tasks that don't carry their own.
-    ``backend`` is a registered name (``"trajectory"``, ``"vectorized"``,
-    ``"density"``) or a :class:`~repro.runtime.backends.Backend` instance;
-    ``None`` uses the configured default. ``workers=N`` fans the simulations
-    out over N threads and ``compile_workers`` (default: ``workers``) the
-    task compilations; results are identical for every combination. Passing
-    :class:`~repro.runtime.plan.ExecutionPlan` objects (from
-    :func:`~repro.runtime.plan.compile_tasks`) skips the compile stage, so
-    one set of plans can be executed on several backends; with
-    ``options=None`` the plans' compile-time options are reused, which is
-    what makes the two-stage path reproduce the one-stage one exactly
-    (realization sub-seeds were already derived at compile time).
+    Args:
+        tasks: a :class:`~repro.runtime.task.Task`, a list of tasks, or
+            pre-built :class:`~repro.runtime.plan.ExecutionPlan` objects
+            (from :func:`~repro.runtime.plan.compile_tasks`). Plans skip
+            the compile stage, so one set of plans can be executed on
+            several backends; with ``options=None`` the plans'
+            compile-time options are reused, which is what makes the
+            two-stage path reproduce the one-stage one exactly
+            (realization sub-seeds were already derived at compile time).
+        device: default device for tasks that don't carry their own.
+        backend: a registered name (``"trajectory"``, ``"vectorized"``,
+            ``"density"``) or a :class:`~repro.runtime.backends.Backend`
+            instance; ``None`` uses the configured default.
+        options: :class:`~repro.sim.SimOptions` noise/sampling
+            configuration (``None`` = defaults, or the plans' recorded
+            options when executing plans).
+        workers: simulation fan-out (threads). ``None`` uses the
+            configured default.
+        compile_workers: compile-stage fan-out; ``None`` uses the
+            configured default, which itself defaults to ``workers``.
+        compile_mode: ``"thread"`` or ``"process"`` compile fan-out;
+            ``None`` uses the configured default (``"thread"``).
+
+    Returns:
+        A :class:`~repro.runtime.task.BatchResult` with one
+        :class:`~repro.runtime.task.TaskResult` per task, in task order,
+        plus the compile/execute wall-time split.
+
+    Results are bit-for-bit identical for every (backend × workers ×
+    compile_workers × compile_mode × cache temperature) combination — the
+    knobs only change wall time.
+
+    Example:
+        >>> batch = run(
+        ...     [Task(circ, observables={"z": "IZ"}, pipeline="ca_ec+dd",
+        ...           realizations=8, seed=1)],
+        ...     device, backend="vectorized", workers=4,
+        ... )  # doctest: +SKIP
+        >>> batch[0].values  # doctest: +SKIP
     """
     if isinstance(tasks, (Task, ExecutionPlan)):
         tasks = [tasks]
@@ -120,6 +228,8 @@ def run(
     count = default_workers() if workers is None else int(workers)
     if count < 1:
         raise ValueError("workers must be >= 1")
+    if compile_workers is None:
+        compile_workers = default_compile_workers()
     compile_count = count if compile_workers is None else int(compile_workers)
     if compile_count < 1:
         raise ValueError("compile_workers must be >= 1")
@@ -140,7 +250,11 @@ def run(
             )
         options = options or SimOptions()
         plans = compile_tasks(
-            items, device=device, options=options, workers=compile_count
+            items,
+            device=device,
+            options=options,
+            workers=compile_count,
+            mode=compile_mode,
         )
         compile_time = time.perf_counter() - start
     exec_start = time.perf_counter()

@@ -1,0 +1,281 @@
+"""Disk-backed plan store: the persistent layer under the plan cache.
+
+The in-memory :class:`~repro.runtime.plan.PlanCache` dies with its process,
+so a fresh CLI invocation always compiles cold. :class:`PlanStore`
+persists the cache's values — the ``(compiled, scheduled)`` circuit pair a
+deterministic pipeline produced for one content key — as pickled files
+under a versioned directory, so the *second* invocation of the same figure
+warm-starts its compile stage.
+
+Design constraints, in order:
+
+* **Correctness over persistence.** Every load failure — truncated file,
+  corrupt pickle, format-version mismatch, unreadable directory — is
+  treated as a cache miss (and the offending file is deleted when
+  possible). A broken store can cost wall time, never change a value.
+* **Crash/concurrency safety.** Writes go to a temporary file in the same
+  directory and are published with :func:`os.replace`, so readers (other
+  processes included) only ever see complete payloads. Two processes
+  racing on one key write byte-identical content, so last-writer-wins is
+  harmless.
+* **Bounded size.** The store holds at most ``max_bytes`` of payloads;
+  :meth:`put` evicts least-recently-used files (access bumps mtime) until
+  the bound holds again.
+* **Versioned format.** Entries live under ``v<FORMAT_VERSION>/`` and
+  embed the version in the payload; bumping ``FORMAT_VERSION`` orphans old
+  entries instead of risking misinterpreting them.
+
+The store never hashes or compiles anything itself — keys come from the
+content fingerprints in :mod:`repro.runtime.plan`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..utils.paths import default_plan_cache_dir
+
+#: Bump when the pickled payload layout (or anything it embeds) changes
+#: incompatibly; old entries are orphaned, not misread.
+FORMAT_VERSION = 1
+
+#: Default size bound: generous for plan payloads (~10 kB each) while
+#: keeping a forgotten cache directory from growing without bound.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+_SUFFIX = ".plan"
+
+
+class PlanStore:
+    """A versioned, size-bounded, corruption-tolerant on-disk k/v store.
+
+    Args:
+        directory: root of the store. ``None`` uses
+            :func:`repro.utils.paths.default_plan_cache_dir` (respects
+            ``REPRO_PLAN_CACHE_DIR`` / ``XDG_CACHE_HOME``). Entries live in
+            a ``v<FORMAT_VERSION>`` subdirectory so format bumps never
+            misread old files.
+        max_bytes: total payload bound; least-recently-used entries are
+            evicted after each :meth:`put` until the bound holds.
+
+    Example:
+        >>> store = PlanStore("/tmp/plans", max_bytes=1 << 20)
+        >>> store.put("key", ("compiled", "scheduled"))
+        >>> store.get("key")
+        ('compiled', 'scheduled')
+        >>> store.get("missing") is None
+        True
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path, None] = None,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ):
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.root = Path(directory).expanduser() if directory else default_plan_cache_dir()
+        self.directory = self.root / f"v{FORMAT_VERSION}"
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0
+        # Running size estimate so puts don't rescan the directory each
+        # time; initialized lazily from a real scan, re-trued by _evict.
+        # Lock-guarded: compile worker threads put concurrently, and a
+        # lost update would undercount and let the bound slip.
+        self._approx_bytes: Optional[int] = None
+        self._size_lock = threading.Lock()
+
+    # -- key/path mapping ------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        # Keys are colon-joined fingerprints; hash them again so filenames
+        # are fixed-length and filesystem-safe no matter what a custom
+        # pass's fingerprint contains.
+        digest = hashlib.blake2b(key.encode(), digest_size=20).hexdigest()
+        return self.directory / f"{digest}{_SUFFIX}"
+
+    def _discard(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- read ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        """Load the value stored under ``key``, or ``None`` on any failure.
+
+        A hit bumps the file's mtime (the LRU clock). Corrupt, truncated,
+        or version-mismatched files are deleted and reported as misses —
+        the caller simply recompiles and overwrites them.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated write, corrupt bytes, unpicklable content from a
+            # different library version... all equally recoverable: drop
+            # the file and compile fresh.
+            self.errors += 1
+            self.misses += 1
+            self._discard(path)
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != FORMAT_VERSION
+            or payload.get("key") != key
+        ):
+            # Wrong embedded version (file predates a format bump that
+            # kept the directory name) or a key hash collision: unusable.
+            self.errors += 1
+            self.misses += 1
+            self._discard(path)
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # eviction raced us; the value is still good
+        self.hits += 1
+        return payload["value"]
+
+    # -- write -----------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> bool:
+        """Persist ``value`` under ``key``; returns ``False`` on failure.
+
+        The payload is written to a sibling temporary file and published
+        atomically, then LRU eviction enforces ``max_bytes``. Unpicklable
+        values and filesystem errors are swallowed — persistence is an
+        optimization, never a requirement.
+        """
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}-{time.monotonic_ns()}")
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            payload = {"format": FORMAT_VERSION, "key": key, "value": value}
+            with open(tmp, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            written = tmp.stat().st_size
+            os.replace(tmp, path)
+        except Exception:
+            self.errors += 1
+            self._discard(tmp)
+            return False
+        # Overwrites make the estimate drift high, never low, so the bound
+        # still holds; _evict re-trues it from a real scan when it trips.
+        with self._size_lock:
+            if self._approx_bytes is None:
+                self._approx_bytes = self._scan()[1]
+            else:
+                self._approx_bytes += written
+            over = self._approx_bytes > self.max_bytes
+        if over:
+            self._evict()
+        return True
+
+    def _scan(self):
+        """``(entries, total)`` for the current store; sweeps stale tmps.
+
+        A temporary file only survives a crash between write and rename;
+        anything older than a minute is garbage and would otherwise escape
+        the size bound forever (eviction only considers ``.plan`` files).
+        """
+        entries = []
+        total = 0
+        stale = time.time() - 60.0
+        try:
+            for path in self.directory.iterdir():
+                if ".tmp-" in path.name:
+                    try:
+                        if path.stat().st_mtime < stale:
+                            self._discard(path)
+                    except OSError:
+                        pass
+                    continue
+                if path.suffix != _SUFFIX:
+                    continue
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
+        except OSError:
+            pass
+        return entries, total
+
+    def _evict(self) -> None:
+        """Delete least-recently-used entries until ``max_bytes`` holds."""
+        entries, total = self._scan()
+        entries.sort()  # oldest access first
+        for _mtime, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            self._discard(path)
+            total -= size
+        with self._size_lock:
+            self._approx_bytes = total
+
+    # -- maintenance -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        try:
+            return sum(
+                1 for p in self.directory.iterdir() if p.suffix == _SUFFIX
+            )
+        except OSError:
+            return 0
+
+    def total_bytes(self) -> int:
+        """Current payload size on disk (0 when the store is empty)."""
+        try:
+            return sum(
+                p.stat().st_size
+                for p in self.directory.iterdir()
+                if p.suffix == _SUFFIX
+            )
+        except OSError:
+            return 0
+
+    def clear(self) -> None:
+        """Delete every entry (of this format version) and reset counters."""
+        try:
+            for path in self.directory.iterdir():
+                if path.suffix == _SUFFIX or ".tmp-" in path.name:
+                    self._discard(path)
+        except OSError:
+            pass
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0
+        with self._size_lock:
+            self._approx_bytes = 0
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """``{"hits", "misses", "errors", "entries", "bytes"}`` counters."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "errors": self.errors,
+            "entries": len(self),
+            "bytes": self.total_bytes(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanStore({str(self.root)!r}, entries={len(self)}, "
+            f"max_bytes={self.max_bytes})"
+        )

@@ -123,8 +123,28 @@ class Sweep:
         backend: Optional[BackendLike] = None,
         workers: Optional[int] = None,
         compile_workers: Optional[int] = None,
+        compile_mode: Optional[str] = None,
     ) -> "SweepResult":
-        """Execute the grid as one batched run and key the results."""
+        """Execute the grid as one batched run and key the results.
+
+        Args:
+            device: default device for tasks without their own.
+            options: simulation options shared by every grid point.
+            backend: backend name or instance (``None`` = configured
+                default).
+            workers: simulation fan-out; ``compile_workers`` and
+                ``compile_mode`` shape the compile stage (see
+                :func:`repro.runtime.run`). None of them changes a value.
+
+        Returns:
+            A :class:`SweepResult` keying each grid point's
+            :class:`~repro.runtime.task.TaskResult` by its coordinates.
+
+        Example:
+            >>> result = sweep.run(device, backend="vectorized",
+            ...                    workers=4)  # doctest: +SKIP
+            >>> result.curve("z", strategy="ca_ec")  # doctest: +SKIP
+        """
         coords, tasks = self.tasks()
         batch = run(
             tasks,
@@ -133,6 +153,7 @@ class Sweep:
             backend=backend,
             workers=workers,
             compile_workers=compile_workers,
+            compile_mode=compile_mode,
         )
         return SweepResult(
             axes=self.axes, coords=coords, batch=batch, name=self.name

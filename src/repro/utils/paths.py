@@ -1,0 +1,35 @@
+"""Filesystem locations for persistent caches.
+
+The disk-backed plan store (:mod:`repro.runtime.store`) keeps compiled
+schedules under a per-user cache directory so repeated CLI invocations
+warm-start their compile stage. Resolution order:
+
+1. ``REPRO_PLAN_CACHE_DIR`` environment variable (explicit override);
+2. ``$XDG_CACHE_HOME/repro-plans`` when ``XDG_CACHE_HOME`` is set;
+3. ``~/.cache/repro-plans`` otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def default_plan_cache_dir() -> Path:
+    """The default directory of the on-disk plan store.
+
+    Returns:
+        The resolved cache path. The directory is *not* created here; the
+        store creates it lazily on first write, so merely importing the
+        library never touches the filesystem.
+
+    Example:
+        >>> default_plan_cache_dir().name
+        'repro-plans'
+    """
+    env = os.environ.get("REPRO_PLAN_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-plans"

@@ -13,8 +13,8 @@ import itertools
 
 import pytest
 
+from conftest import OBS, batch_signature, det_pipeline, layered_circuit, mixed_tasks
 from repro import (
-    Circuit,
     ExecutionPlan,
     Pipeline,
     SimOptions,
@@ -43,43 +43,6 @@ def fresh_cache():
     PLAN_CACHE.clear()
     yield
     PLAN_CACHE.clear()
-
-
-def layered_circuit(num_qubits: int = 4, layers: int = 2) -> Circuit:
-    circ = Circuit(num_qubits)
-    for q in range(num_qubits):
-        circ.h(q, new_moment=(q == 0))
-    for _ in range(layers):
-        circ.can(0.3, 0.2, 0.4, 0, 1, new_moment=True)
-        circ.append_moment([])
-        circ.can(0.1, 0.5, 0.2, 2, 3, new_moment=True)
-        circ.append_moment([])
-    return circ
-
-
-OBS = {"x2": "IXII", "x3": "XIII"}
-
-
-def det_pipeline() -> Pipeline:
-    """A deterministic (twirl-free, therefore cacheable) recipe."""
-    return Pipeline([CADD(), CAEC()])
-
-
-def mixed_tasks():
-    """Stochastic + deterministic + direct tasks in one batch."""
-    circ = layered_circuit()
-    return [
-        Task(circ, observables=OBS, pipeline="ca_ec+dd", realizations=3, seed=11),
-        Task(circ, observables=OBS, pipeline=det_pipeline(), realizations=2,
-             seed=12),
-        Task(circ, observables=OBS, seed=13),
-        Task(circ, bit_targets={"f": {0: 0}}, pipeline="ca_dd", realizations=2,
-             seed=14),
-    ]
-
-
-def batch_signature(batch):
-    return [(r.values, r.errors, r.shots, r.realizations) for r in batch]
 
 
 class TestCompileTasks:

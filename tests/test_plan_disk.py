@@ -1,0 +1,381 @@
+"""Disk-backed plan cache + process-parallel compilation tests.
+
+The load-bearing guarantees of the warm-start layer:
+
+* a warm *disk* cache (a fresh process finding another process's store)
+  changes nothing but wall time — bit-identical results for every
+  (cache mode x compile mode x worker count x backend) combination;
+* the store is corruption-tolerant: truncated, garbage, or
+  version-mismatched files are misses (and get deleted), never errors;
+* the store is size-bounded: least-recently-used entries are evicted;
+* process-parallel compilation preserves per-task RNG streams, falls back
+  for unportable tasks, and re-interns artifacts so engine sharing (and
+  the plan cache) keep working.
+"""
+
+import itertools
+import pickle
+
+import pytest
+
+from conftest import OBS, batch_signature, det_pipeline, layered_circuit, mixed_tasks
+from repro import SimOptions, Task, compile_tasks, run
+from repro.runtime import PLAN_CACHE, PlanCache, PlanStore, configure, plan_cache_mode
+from repro.runtime import store as store_module
+from repro.runtime.plan import _portable
+
+pytestmark = pytest.mark.usefixtures("fresh_plan_state")
+
+
+@pytest.fixture
+def fresh_plan_state():
+    """Tests start memory-cold and leave the global cache configured off-disk."""
+    PLAN_CACHE.clear()
+    yield
+    configure(plan_cache="memory", plan_cache_dir=None, compile_mode="thread")
+    PLAN_CACHE.clear()
+
+
+@pytest.fixture
+def disk_dir(tmp_path):
+    return tmp_path / "plans"
+
+
+def cacheable_tasks(seeds=(1, 2), layers=(2, 3)):
+    return [
+        Task(layered_circuit(layers=n), observables=OBS, pipeline=det_pipeline(),
+             realizations=2, seed=s)
+        for s in seeds
+        for n in layers
+    ]
+
+
+# ---------------------------------------------------------------------------
+# PlanStore mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestPlanStore:
+    def test_roundtrip_and_stats(self, disk_dir):
+        store = PlanStore(disk_dir)
+        assert store.get("k") is None
+        assert store.put("k", ("compiled", "scheduled"))
+        assert store.get("k") == ("compiled", "scheduled")
+        assert len(store) == 1
+        assert store.stats["hits"] == 1
+        assert store.stats["misses"] == 1
+        assert store.stats["bytes"] > 0
+
+    def test_clear(self, disk_dir):
+        store = PlanStore(disk_dir)
+        store.put("k", "v")
+        store.clear()
+        assert len(store) == 0
+        assert store.get("k") is None
+
+    def test_rejects_bad_max_bytes(self, disk_dir):
+        with pytest.raises(ValueError, match="max_bytes"):
+            PlanStore(disk_dir, max_bytes=0)
+
+    def test_truncated_file_is_a_miss_and_removed(self, disk_dir):
+        store = PlanStore(disk_dir)
+        store.put("k", ("a", "b"))
+        path = store._path("k")
+        path.write_bytes(path.read_bytes()[:10])  # torn write
+        assert store.get("k") is None
+        assert not path.exists()
+        assert store.errors == 1
+        # The slot is immediately reusable.
+        store.put("k", ("a", "b"))
+        assert store.get("k") == ("a", "b")
+
+    def test_garbage_file_is_a_miss_and_removed(self, disk_dir):
+        store = PlanStore(disk_dir)
+        store.put("k", ("a", "b"))
+        store._path("k").write_bytes(b"\x00not a pickle at all")
+        assert store.get("k") is None
+        assert store.errors == 1
+
+    def test_non_dict_payload_rejected(self, disk_dir):
+        store = PlanStore(disk_dir)
+        store.directory.mkdir(parents=True)
+        with open(store._path("k"), "wb") as handle:
+            pickle.dump(["unexpected", "layout"], handle)
+        assert store.get("k") is None
+        assert store.errors == 1
+
+    def test_format_version_mismatch_invalidates(self, disk_dir):
+        store = PlanStore(disk_dir)
+        store.put("k", ("a", "b"))
+        # A file written by a future/past format that kept the directory
+        # name: the embedded version must still gate the load.
+        with open(store._path("k"), "wb") as handle:
+            pickle.dump(
+                {"format": store_module.FORMAT_VERSION + 1, "key": "k",
+                 "value": ("a", "b")},
+                handle,
+            )
+        assert store.get("k") is None
+        assert store.errors == 1
+
+    def test_format_bump_orphans_old_directory(self, disk_dir, monkeypatch):
+        old = PlanStore(disk_dir)
+        old.put("k", ("a", "b"))
+        monkeypatch.setattr(store_module, "FORMAT_VERSION",
+                            store_module.FORMAT_VERSION + 1)
+        new = PlanStore(disk_dir)
+        assert new.directory != old.directory
+        assert new.get("k") is None  # plain miss, not an error
+        assert new.errors == 0
+
+    def test_key_recorded_and_checked(self, disk_dir):
+        """A (vanishingly unlikely) filename collision cannot alias keys."""
+        store = PlanStore(disk_dir)
+        store.put("k", ("a", "b"))
+        target = store._path("other")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        store._path("k").rename(target)
+        assert store.get("other") is None
+
+    def test_eviction_bound(self, disk_dir):
+        store = PlanStore(disk_dir)
+        store.put("a", "x" * 100)
+        entry_bytes = store.total_bytes()
+        store.max_bytes = int(entry_bytes * 2.5)  # room for two entries
+        for key in ("b", "c", "d", "e"):
+            store.put(key, "y" * 100)
+            assert store.total_bytes() <= store.max_bytes
+        assert len(store) == 2  # oldest entries were evicted
+
+    def test_eviction_is_lru(self, disk_dir):
+        store = PlanStore(disk_dir)
+        store.put("a", "x")
+        entry_bytes = store.total_bytes()
+        store.max_bytes = int(entry_bytes * 2.5)  # room for two entries
+        store.put("b", "y")
+        import time
+
+        time.sleep(0.02)  # mtime resolution
+        assert store.get("a") is not None  # refresh "a": now "b" is LRU
+        time.sleep(0.02)
+        store.put("c", "z")
+        assert store.get("a") is not None
+        assert store.get("b") is None  # evicted as least recently used
+        assert store.get("c") is not None
+
+    def test_unpicklable_value_swallowed(self, disk_dir):
+        store = PlanStore(disk_dir)
+        assert not store.put("k", lambda: None)
+        assert store.errors == 1
+        assert store.get("k") is None
+
+    def test_stale_tmp_orphans_are_swept(self, disk_dir):
+        """A crash between write and rename leaves a .tmp-* file; the
+        eviction scan reaps old ones so they can't escape the size bound."""
+        import os
+        import time
+
+        store = PlanStore(disk_dir)
+        store.put("a", "x")
+        orphan = store.directory / "deadbeef.tmp-123-456"
+        orphan.write_bytes(b"partial write")
+        old = time.time() - 300
+        os.utime(orphan, (old, old))
+        store.max_bytes = 1  # force the next put to run an eviction scan
+        store.put("b", "y")
+        assert not orphan.exists()
+
+
+# ---------------------------------------------------------------------------
+# PlanCache + store layering
+# ---------------------------------------------------------------------------
+
+
+class TestDiskCache:
+    def test_disk_hit_populates_memory_with_one_object(self, disk_dir, chain4):
+        cache = PlanCache(store=PlanStore(disk_dir))
+        compile_tasks(cacheable_tasks(seeds=(1,)), chain4, cache=cache)
+        fresh = PlanCache(store=PlanStore(disk_dir))  # "new process"
+        plans = compile_tasks(cacheable_tasks(seeds=(1, 2)), chain4, cache=fresh)
+        assert fresh.disk_hits == 2  # two distinct circuits loaded once each
+        assert fresh.stats["store"]["hits"] == 2
+        # All four tasks share the two loaded artifacts by identity.
+        assert len({id(u.scheduled) for p in plans for u in p.units}) == 2
+
+    def test_warm_disk_is_bit_identical(self, disk_dir, chain4):
+        """The acceptance property: a second process's results are
+        unchanged, for every compile mode and worker count."""
+        opts = SimOptions(shots=4)
+        reference = run(cacheable_tasks() + mixed_tasks(), chain4, options=opts)
+        configure(plan_cache="disk", plan_cache_dir=disk_dir)
+        assert plan_cache_mode() == "disk"
+        PLAN_CACHE.clear()  # memory hits don't write through; compile cold
+        cold = run(cacheable_tasks() + mixed_tasks(), chain4, options=opts)
+        assert PLAN_CACHE.stats["store"]["entries"] > 0
+        for compile_mode, workers in itertools.product(
+            ("thread", "process"), (1, 3)
+        ):
+            PLAN_CACHE.clear()  # fresh process: memory cold, disk warm
+            warm = run(
+                cacheable_tasks() + mixed_tasks(), chain4, options=opts,
+                workers=workers, compile_workers=workers,
+                compile_mode=compile_mode,
+            )
+            assert batch_signature(warm) == batch_signature(cold), (
+                f"compile_mode={compile_mode}, workers={workers}"
+            )
+            if compile_mode == "thread":
+                # (In process mode the disk hits happen inside the worker
+                # processes, invisible to the parent's counters.)
+                assert PLAN_CACHE.disk_hits > 0
+        assert batch_signature(cold) == batch_signature(reference)
+
+    def test_corrupt_store_never_breaks_a_run(self, disk_dir, chain4):
+        opts = SimOptions(shots=4)
+        cache = PlanCache(store=PlanStore(disk_dir))
+        cold = run(cacheable_tasks(), chain4, options=opts)
+        compile_tasks(cacheable_tasks(), chain4, options=opts, cache=cache)
+        for path in cache.store.directory.iterdir():
+            path.write_bytes(b"corruption")
+        fresh = PlanCache(store=PlanStore(disk_dir))
+        plans = compile_tasks(cacheable_tasks(), chain4, options=opts, cache=fresh)
+        assert fresh.disk_hits == 0
+        assert fresh.store.errors > 0
+        warm = run(plans)
+        assert batch_signature(warm) == batch_signature(cold)
+
+    def test_off_mode_disables_caching(self, chain4):
+        configure(plan_cache="off")
+        compile_tasks(cacheable_tasks(), chain4)
+        assert len(PLAN_CACHE) == 0
+        assert PLAN_CACHE.stats == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError, match="plan cache mode"):
+            configure(plan_cache="ramdisk")
+        with pytest.raises(ValueError, match="max_bytes"):
+            configure(plan_cache="disk", plan_cache_bytes=0)
+
+    def test_none_restores_size_default(self, disk_dir):
+        from repro.runtime.store import DEFAULT_MAX_BYTES
+
+        configure(plan_cache="disk", plan_cache_dir=disk_dir,
+                  plan_cache_bytes=1024)
+        assert PLAN_CACHE.store.max_bytes == 1024
+        configure(plan_cache_bytes=None)  # mirror plan_cache_dir=None
+        assert PLAN_CACHE.store.max_bytes == DEFAULT_MAX_BYTES
+
+    def test_explicit_cache_argument_still_wins(self, chain4):
+        configure(plan_cache="off")
+        cache = PlanCache()
+        compile_tasks(cacheable_tasks(seeds=(1,)), chain4, cache=cache)
+        assert len(cache) > 0
+
+
+# ---------------------------------------------------------------------------
+# Process-parallel compilation
+# ---------------------------------------------------------------------------
+
+
+class TestProcessCompile:
+    @pytest.mark.parametrize("backend", ["trajectory", "vectorized", "density"])
+    def test_bit_identical_to_thread_mode(self, chain4, backend):
+        opts = SimOptions(shots=4)
+        reference = run(mixed_tasks(), chain4, options=opts, backend=backend)
+        for workers in (2, 3):
+            PLAN_CACHE.clear()
+            batch = run(
+                mixed_tasks(), chain4, options=opts, backend=backend,
+                compile_workers=workers, compile_mode="process",
+            )
+            assert batch_signature(batch) == batch_signature(reference)
+
+    def test_rehomed_plans_share_engines_and_cache(self, chain4):
+        tasks = cacheable_tasks(seeds=(1, 2, 3), layers=(2,))
+        plans = compile_tasks(tasks, chain4, workers=2, mode="process")
+        # One artifact across all three tasks, interned into the parent
+        # cache for future batches.
+        assert len({id(u.scheduled) for p in plans for u in p.units}) == 1
+        assert len(PLAN_CACHE) == 1
+        assert all(p.task is t for p, t in zip(plans, tasks))
+        follow_up = compile_tasks(cacheable_tasks(seeds=(9,), layers=(2,)), chain4)
+        assert PLAN_CACHE.hits >= 1
+        assert follow_up[0].units[0].scheduled is plans[0].units[0].scheduled
+
+    def test_generator_seeds_fall_back_to_parent(self, chain4):
+        """Tasks drawing from a shared Generator cannot ship to workers
+        without desynchronizing the stream — they compile in-parent, in
+        order, and match serial mode exactly."""
+        import numpy as np
+
+        def tasks():
+            rng = np.random.default_rng(5)
+            return [
+                Task(layered_circuit(), observables=OBS, pipeline="ca_ec+dd",
+                     realizations=2, seed=rng)
+                for _ in range(3)
+            ]
+
+        opts = SimOptions(shots=4)
+        assert not _portable(tasks()[0], opts, chain4)
+        serial = run(tasks(), chain4, options=opts)
+        processed = run(
+            tasks(), chain4, options=opts, compile_workers=3,
+            compile_mode="process",
+        )
+        assert batch_signature(serial) == batch_signature(processed)
+
+    def test_unpicklable_factory_falls_back(self, chain4):
+        """Lambda factories can't cross the process boundary; their pool
+        jobs fail at pickling time and they compile in-parent instead."""
+
+        def tasks():
+            base = layered_circuit()
+            return [
+                Task(factory=lambda rng: base, observables=OBS,
+                     realizations=2, seed=s)
+                for s in (1, 2, 3)
+            ]
+
+        opts = SimOptions(shots=4)
+        serial = run(tasks(), chain4, options=opts)
+        processed = run(
+            tasks(), chain4, options=opts, compile_workers=2,
+            compile_mode="process",
+        )
+        assert batch_signature(serial) == batch_signature(processed)
+
+    def test_mode_validation(self, chain4):
+        with pytest.raises(ValueError, match="mode"):
+            compile_tasks(mixed_tasks(), chain4, mode="fiber")
+        with pytest.raises(ValueError, match="contradicts"):
+            compile_tasks(mixed_tasks(), chain4, mode="thread", processes=True)
+        with pytest.raises(ValueError, match="compile_mode"):
+            configure(compile_mode="fiber")
+
+    def test_processes_boolean_shorthand(self, chain4):
+        serial = compile_tasks(cacheable_tasks(), chain4, cache=None)
+        shorthand = compile_tasks(
+            cacheable_tasks(), chain4, cache=None, workers=2, processes=True
+        )
+        assert [
+            [u.seed for u in p.units] for p in serial
+        ] == [[u.seed for u in p.units] for p in shorthand]
+
+    def test_configured_default_mode(self, chain4):
+        configure(compile_mode="process", compile_workers=2)
+        opts = SimOptions(shots=4)
+        reference = run(mixed_tasks(), chain4, options=opts)
+        configure(compile_mode="thread", compile_workers=None)
+        PLAN_CACHE.clear()
+        assert batch_signature(reference) == batch_signature(
+            run(mixed_tasks(), chain4, options=opts)
+        )
+
+    def test_plan_pickle_roundtrip_executes_identically(self, chain4):
+        """Plans are picklable by design — the property the process pool
+        (and any future distributed backend) rests on."""
+        opts = SimOptions(shots=4)
+        plans = compile_tasks(mixed_tasks(), chain4, options=opts)
+        clone = pickle.loads(pickle.dumps(plans))
+        assert batch_signature(run(plans)) == batch_signature(run(clone))
