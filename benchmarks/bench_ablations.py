@@ -107,7 +107,7 @@ def test_orientation_removes_case_iv(benchmark, once):
     re-orienting ECR gates removes the ctrl-ctrl context entirely, so even
     plain CA-DD matches CA-EC on a layer that otherwise needs EC."""
     from repro.benchmarking import CASE_IV, build_case_circuit
-    from repro.compiler import apply_orientation, compile_circuit
+    from repro.compiler import compile_circuit
     from repro.sim import bit_probabilities
     from repro.utils.rng import as_generator
 

@@ -17,6 +17,10 @@ Times the same seeded workloads on ``backend="trajectory"`` and
 * a thread-vs-process compile fan-out comparison on a grid of distinct
   circuits (informational: the ratio is machine-dependent, so it is
   recorded but not regression-gated);
+* a distributed-vs-in-process scaling entry: a realization-heavy twirled
+  batch sharded across ``backend="distributed"`` worker processes,
+  cross-checked bit-identical against both in-process engines
+  (informational ratios, gated bit-identity);
 * two real ``python -m repro.experiments fig3 --quick`` subprocess
   invocations sharing a ``--plan-cache`` directory — the end-to-end
   warm-start scenario, cross-checked bit-identical.
@@ -58,7 +62,7 @@ from repro import Circuit, SimOptions, Sweep, Task, compile_tasks, configure, ru
 from repro.benchmarking.ramsey import CASE_I, ramsey_task
 from repro.device.calibration import synthetic_device
 from repro.device.topology import linear_chain
-from repro.runtime import PLAN_CACHE
+from repro.runtime import PLAN_CACHE, DistributedBackend
 
 BACKENDS = ("trajectory", "vectorized")
 
@@ -277,6 +281,63 @@ def bench_compile_modes(workers: int = 2) -> Dict:
     }
 
 
+def bench_distributed(workers: int = 2) -> Dict:
+    """Distributed-vs-in-process scaling on a realization-heavy batch.
+
+    The workload is the distributed backend's sweet spot: many twirl
+    realizations per task, each an independent seeded simulation, sharded
+    across ``workers`` processes. The ratios are machine-dependent (core
+    count, fork cost), so they are recorded as ``dist_vs_trajectory`` /
+    ``dist_vs_vectorized`` and never regression-gated; bit-identity across
+    all three engines IS gated — that is the correctness claim.
+    """
+    device = synthetic_device(
+        linear_chain(CASE_I.num_qubits), name="bench_dist", seed=1011
+    )
+    options = SimOptions(shots=48)
+
+    def tasks():
+        return [
+            ramsey_task(
+                CASE_I, device, depth, "ca_ec+dd", twirl=True,
+                realizations=8, seed=depth,
+            )
+            for depth in (8, 16, 24)
+        ]
+
+    engines = {
+        "trajectory": "trajectory",
+        "vectorized": "vectorized",
+        "distributed": DistributedBackend(dist_workers=workers),
+    }
+    timings = {name: float("inf") for name in engines}
+    values: Dict[str, List[Dict[str, float]]] = {}
+    for _ in range(2):
+        for name, engine in engines.items():
+            PLAN_CACHE.clear()
+            start = time.perf_counter()
+            batch = run(tasks(), device, options=options, backend=engine)
+            timings[name] = min(timings[name], time.perf_counter() - start)
+            values[name] = [dict(r.values) for r in batch]
+    return {
+        "workload": "distributed_scaling",
+        "tasks": 3,
+        "realizations_per_task": 8,
+        "dist_workers": workers,
+        # Ratios only mean something relative to the cores available:
+        # on a 1-CPU runner the best possible dist/traj is ~1.0x minus
+        # transport overhead.
+        "cpus": os.cpu_count(),
+        "seconds": {name: round(t, 4) for name, t in timings.items()},
+        "dist_vs_trajectory": round(timings["trajectory"] / timings["distributed"], 2),
+        "dist_vs_vectorized": round(timings["vectorized"] / timings["distributed"], 2),
+        "bit_identical": (
+            values["trajectory"] == values["distributed"]
+            and values["trajectory"] == values["vectorized"]
+        ),
+    }
+
+
 def _strip_timing(obj):
     """Drop wall-time fields so two JSON payloads compare by value only."""
     if isinstance(obj, dict):
@@ -362,6 +423,17 @@ def _print_entry(entry: Dict) -> None:
         print(
             f"{entry['workload']:>22s}: {ratio}x compile-stage speedup "
             f"({cold_s:.3f}s {cold_key} vs {warm_s:.3f}s {warm_key}, "
+            f"bit_identical={entry['bit_identical']})"
+        )
+        return
+    if entry["workload"] == "distributed_scaling":
+        seconds = entry["seconds"]
+        print(
+            f"{entry['workload']:>22s} {entry['tasks']}x{entry['realizations_per_task']} "
+            f"realizations, {entry['dist_workers']} workers: "
+            f"dist/traj = {entry['dist_vs_trajectory']}x, "
+            f"dist/vec = {entry['dist_vs_vectorized']}x "
+            f"({seconds['distributed']:.3f}s dist vs {seconds['trajectory']:.3f}s traj, "
             f"bit_identical={entry['bit_identical']})"
         )
         return
@@ -471,6 +543,7 @@ def main(argv=None) -> int:
         bench_compile_cache,
         bench_disk_cache,
         bench_compile_modes,
+        bench_distributed,
         bench_cli_warm_start,
     ):
         entry = bench()

@@ -4,7 +4,6 @@ Paper reference: on a Floquet circuit containing both an idle pair and
 adjacent ECR controls, the combined strategy outperforms its constituents.
 """
 
-import numpy as np
 
 from repro.experiments import run_fig10
 

@@ -25,7 +25,7 @@ import importlib
 import re
 import sys
 from pathlib import Path
-from typing import Dict, List, Set, Tuple
+from typing import List, Set, Tuple
 
 DOCS = Path(__file__).resolve().parent
 ROOT = DOCS.parent
@@ -46,6 +46,9 @@ PUBLIC_SURFACE = [
     ("repro.runtime.sweep", "SweepResult"),
     ("repro.runtime.backends", "Backend"),
     ("repro.runtime.backends", "register_backend"),
+    ("repro.runtime.distributed", "DistributedBackend"),
+    ("repro.runtime.distributed", "SocketShardExecutor"),
+    ("repro.runtime.plan", "shard_plans"),
     ("repro.runtime.task", "Task"),
     ("repro.runtime.pipeline", "Pipeline"),
 ]

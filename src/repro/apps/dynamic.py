@@ -21,10 +21,9 @@ fidelity is the probability of reading ``00`` on the data qubits.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Optional, Sequence
+from typing import Optional
 
 from ..circuits.circuit import Circuit
-from ..circuits.schedule import Durations
 from ..compiler.ca_ec import apply_ca_ec
 from ..device.calibration import Device, NoiseProfile, synthetic_device
 from ..device.topology import linear_chain
@@ -115,7 +114,6 @@ def conditionally_compensated_circuit(
     short gate layers before it are not), so this variant trails the full
     CA-EC compilation by the residual gate-layer error.
     """
-    import math
 
     from ..circuits import gates as g
     from ..circuits.circuit import Instruction, Moment

@@ -15,7 +15,6 @@ that the ideal correlator alternates sign exactly as the paper reports.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
 
 from ..circuits.circuit import Circuit
 from ..device.calibration import Device

@@ -10,9 +10,8 @@ so the sampling overhead at depth ``d`` is ``(A lambda^d)**-2`` (Ref. [62]).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 from scipy.optimize import minimize_scalar

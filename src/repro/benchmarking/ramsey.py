@@ -19,7 +19,7 @@ The four contexts map to the paper's cases:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..circuits.circuit import Circuit
 from ..compiler.strategies import get_strategy

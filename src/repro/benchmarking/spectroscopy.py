@@ -11,9 +11,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-import numpy as np
 
 from ..circuits.circuit import Circuit
 from ..device.calibration import Device

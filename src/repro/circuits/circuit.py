@@ -14,7 +14,7 @@ instructions that execute only when a classical bit holds a given value.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np

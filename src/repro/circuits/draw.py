@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from .circuit import Circuit, Instruction, Moment
+from .circuit import Circuit, Instruction
 
 
 def _cell_for(inst: Instruction, qubit: int) -> str:

@@ -9,7 +9,7 @@ moments (or portions of moments) in which a qubit has no instruction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 from .circuit import Circuit, Instruction, Moment

@@ -13,7 +13,7 @@ barriers and are emitted as standalone layers.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

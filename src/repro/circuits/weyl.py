@@ -89,7 +89,9 @@ def is_canonical(matrix: np.ndarray, atol: float = 1e-7) -> bool:
     return True
 
 
-def absorb_rzz_before(params: Tuple[float, float, float], theta: float) -> Tuple[float, float, float]:
+def absorb_rzz_before(
+    params: Tuple[float, float, float], theta: float
+) -> Tuple[float, float, float]:
     """Canonical params after composing with an earlier ``Rzz(theta)``.
 
     ``Ucan(a,b,c) . Rzz(theta) = Ucan(a, b, c - theta/2)`` because ``Rzz``
@@ -99,7 +101,9 @@ def absorb_rzz_before(params: Tuple[float, float, float], theta: float) -> Tuple
     return (alpha, beta, gamma - theta / 2.0)
 
 
-def absorb_rzz_after(params: Tuple[float, float, float], theta: float) -> Tuple[float, float, float]:
+def absorb_rzz_after(
+    params: Tuple[float, float, float], theta: float
+) -> Tuple[float, float, float]:
     """Canonical params after composing with a later ``Rzz(theta)``."""
     return absorb_rzz_before(params, theta)  # Rzz commutes with Ucan.
 

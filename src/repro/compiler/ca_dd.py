@@ -21,12 +21,12 @@ Four phases:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import networkx as nx
 
 from ..circuits.circuit import Circuit, Moment
-from ..circuits.schedule import ScheduledCircuit, schedule
+from ..circuits.schedule import schedule
 from ..device.calibration import Device
 from ..device.crosstalk import build_crosstalk_graph
 from .coloring import CONTROL_COLOR, TARGET_COLOR, ColoringResult, color_idle_group

@@ -25,7 +25,7 @@ import networkx as nx
 
 from ..circuits import gates as g
 from ..circuits.circuit import Circuit, Instruction, Moment
-from ..circuits.schedule import Durations, ScheduledCircuit, schedule
+from ..circuits.schedule import schedule
 from ..device.calibration import Device
 from .walsh import walsh_fractions
 

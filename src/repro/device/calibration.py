@@ -17,12 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from ..circuits.schedule import Durations
 from ..utils.rng import SeedLike, as_generator
 from ..utils.units import KHZ, US
-from .topology import Topology, eagle, heavy_hex, linear_chain, ring
+from .topology import Topology, eagle
 
 Edge = Tuple[int, int]
 

@@ -8,7 +8,6 @@ that no two crosstalk-graph neighbors share a Walsh sequence.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import networkx as nx
 

@@ -18,6 +18,14 @@ vectorized engine's resident states per chunk (0 = auto-size). ``--json
 PATH`` writes every requested experiment's result — including the full
 per-point Sweep serialization — as one JSON document.
 
+``--backend distributed`` shards each batch's realizations across worker
+*processes*: ``--dist-workers N`` sets the fleet size, ``--dist-serve
+HOST:PORT`` additionally serves the shard queue over TCP so other hosts
+can join the run (``python -m repro.runtime.distributed worker --connect
+HOST:PORT``), and ``--dist-connect HOST:PORT`` dials out to workers
+started with ``worker --listen``. Results are bit-for-bit identical to
+``trajectory`` for every worker count, shard size, and transport.
+
 Compile-stage knobs (none of them changes a value, only wall time):
 ``--plan-cache off|memory|disk`` selects the plan-cache mode — ``disk``
 persists compiled schedules under ``~/.cache/repro-plans`` (or a directory
@@ -173,7 +181,9 @@ def main(argv=None) -> int:
         default=None,
         metavar="NAME",
         help="simulation backend: trajectory (default), vectorized "
-        "(batched, bit-identical, faster), or density (exact)",
+        "(batched, bit-identical, faster), density (exact), or "
+        "distributed (shards realizations across processes/hosts, "
+        "bit-identical to trajectory)",
     )
     parser.add_argument(
         "--chunk-shots",
@@ -211,6 +221,39 @@ def main(argv=None) -> int:
         metavar="N",
         help="compile-stage parallelism (default: the simulation --workers)",
     )
+    parser.add_argument(
+        "--dist-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="distributed backend: worker-process count "
+        "(default: the simulation --workers)",
+    )
+    parser.add_argument(
+        "--dist-shard-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="distributed backend: realizations per shard "
+        "(default: auto-size; results never depend on this)",
+    )
+    parser.add_argument(
+        "--dist-serve",
+        default=None,
+        metavar="HOST:PORT",
+        help="distributed backend: serve the shard queue here so other "
+        "hosts can join (python -m repro.runtime.distributed worker "
+        "--connect HOST:PORT)",
+    )
+    parser.add_argument(
+        "--dist-connect",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="distributed backend: dial out to a listening worker "
+        "(python -m repro.runtime.distributed worker --listen ...); "
+        "repeatable",
+    )
     args = parser.parse_args(argv)
 
     if args.workers is not None and args.workers < 1:
@@ -219,6 +262,10 @@ def main(argv=None) -> int:
         parser.error("--chunk-shots must be >= 1 (or 0 for auto)")
     if args.compile_workers is not None and args.compile_workers < 1:
         parser.error("--compile-workers must be >= 1")
+    if args.dist_workers is not None and args.dist_workers < 1:
+        parser.error("--dist-workers must be >= 1")
+    if args.dist_shard_size is not None and args.dist_shard_size < 1:
+        parser.error("--dist-shard-size must be >= 1")
     plan_cache_mode = plan_cache_dir = None
     if args.plan_cache is not None:
         if args.plan_cache in ("off", "memory", "disk"):
@@ -233,6 +280,10 @@ def main(argv=None) -> int:
         or args.chunk_shots is not None
         or args.compile_mode is not None
         or args.compile_workers is not None
+        or args.dist_workers is not None
+        or args.dist_shard_size is not None
+        or args.dist_serve is not None
+        or args.dist_connect is not None
         or plan_cache_mode is not None
     ):
         from ..runtime import configure
@@ -245,6 +296,14 @@ def main(argv=None) -> int:
                 configure(compile_mode=args.compile_mode)
             if args.compile_workers is not None:
                 configure(compile_workers=args.compile_workers)
+            if args.dist_workers is not None:
+                configure(dist_workers=args.dist_workers)
+            if args.dist_shard_size is not None:
+                configure(dist_shard_size=args.dist_shard_size)
+            if args.dist_serve is not None:
+                configure(dist_serve=args.dist_serve)
+            if args.dist_connect is not None:
+                configure(dist_connect=tuple(args.dist_connect))
             if plan_cache_mode is not None:
                 if plan_cache_dir is not None:
                     configure(

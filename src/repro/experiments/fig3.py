@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..benchmarking.ramsey import CASE_I, CASE_II, CASE_III, CASE_IV, RamseyCase, ramsey_task
-from ..device.calibration import Device, synthetic_device
+from ..device.calibration import synthetic_device
 from ..device.topology import linear_chain
 from ..runtime import Sweep, SweepResult
 from ..sim.executor import SimOptions

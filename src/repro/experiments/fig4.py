@@ -20,7 +20,7 @@ from ..benchmarking.spectroscopy import StarkMeasurement, measure_stark_shift, p
 from ..circuits.circuit import Circuit
 from ..compiler.dd import apply_dd_by_rule
 from ..compiler.walsh import walsh_fractions
-from ..device.calibration import Device, QubitParams, synthetic_device
+from ..device.calibration import synthetic_device
 from ..device.topology import linear_chain
 from ..runtime import Sweep, SweepResult, Task
 from ..sim.executor import SimOptions

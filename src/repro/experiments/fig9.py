@@ -7,7 +7,7 @@ the truth (the paper's 1.15 us), far above the uncompensated baseline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np

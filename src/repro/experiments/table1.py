@@ -20,7 +20,7 @@ NNN ZZ                frequency collisions         x              Walsh
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..benchmarking.ramsey import CASE_I, CASE_II, CASE_IV, ramsey_task
 from ..device.calibration import Device, synthetic_device

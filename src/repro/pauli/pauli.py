@@ -9,7 +9,7 @@ Algorithm 2, lines 22-27).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Tuple
+from typing import Iterable
 
 import numpy as np
 

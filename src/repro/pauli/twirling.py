@@ -14,7 +14,7 @@ keeps the sampled labels per 2q layer for CA-EC's sign bookkeeping.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

@@ -37,6 +37,11 @@ from .backends import (
     get_backend,
     register_backend,
 )
+from .distributed import (
+    DistributedBackend,
+    LocalShardExecutor,
+    SocketShardExecutor,
+)
 from .passes import CADD, CAEC, AlignedDD, Orient, Pass, PassContext, StaggeredDD, Twirl
 from .pipeline import IDENTITY, Pipeline, as_pipeline, pipeline_for
 from .plan import (
@@ -45,6 +50,7 @@ from .plan import (
     PLAN_CACHE_MODES,
     ExecutionPlan,
     PlanCache,
+    PlanShard,
     PlanUnit,
     circuit_fingerprint,
     compile_tasks,
@@ -53,6 +59,7 @@ from .plan import (
     device_fingerprint,
     plan_cache_mode,
     plan_options,
+    shard_plans,
 )
 from .run import (
     configure,
@@ -60,6 +67,11 @@ from .run import (
     default_chunk_shots,
     default_compile_mode,
     default_compile_workers,
+    default_dist_connect,
+    default_dist_inner,
+    default_dist_serve,
+    default_dist_shard_size,
+    default_dist_workers,
     default_workers,
     run,
 )
@@ -71,6 +83,9 @@ __all__ = [
     "BACKENDS",
     "Backend",
     "DensityBackend",
+    "DistributedBackend",
+    "LocalShardExecutor",
+    "SocketShardExecutor",
     "TrajectoryBackend",
     "VectorizedBackend",
     "get_backend",
@@ -92,6 +107,7 @@ __all__ = [
     "PLAN_CACHE_MODES",
     "ExecutionPlan",
     "PlanCache",
+    "PlanShard",
     "PlanStore",
     "PlanUnit",
     "circuit_fingerprint",
@@ -101,11 +117,17 @@ __all__ = [
     "device_fingerprint",
     "plan_cache_mode",
     "plan_options",
+    "shard_plans",
     "configure",
     "default_backend",
     "default_chunk_shots",
     "default_compile_mode",
     "default_compile_workers",
+    "default_dist_connect",
+    "default_dist_inner",
+    "default_dist_serve",
+    "default_dist_shard_size",
+    "default_dist_workers",
     "default_workers",
     "run",
     "Sweep",

@@ -14,9 +14,14 @@ implementations ship with the library:
 * ``"density"`` — the exact density-matrix simulator
   (:class:`repro.sim.DensityExecutor`); zero-variance values for small
   systems (``shots`` is ignored and reported as 0).
+* ``"distributed"`` — shards compiled plans across worker processes (and,
+  over the socket transport, other hosts) and merges the partial results
+  (:class:`repro.runtime.distributed.DistributedBackend`); bit-for-bit
+  identical to its inner backend (``"trajectory"`` by default) for every
+  shard size, worker count, and transport.
 
 Select one by name (``backend="trajectory"``) or register your own
-(GPU, distributed, hardware-facing, ...) with :func:`register_backend`.
+(GPU, hardware-facing, ...) with :func:`register_backend`.
 
 Since the plan/execute split, backends no longer compile anything: the
 shared :func:`~repro.runtime.plan.compile_tasks` stage produces frozen
@@ -47,15 +52,7 @@ from ..sim.density import DensityExecutor
 from ..sim.executor import Executor, SimOptions, SimResult
 from ..sim.vectorized import VectorizedExecutor
 from ..utils.rng import SeedLike
-from .plan import (
-    PLAN_CACHE,
-    USE_DEFAULT_CACHE,
-    ExecutionPlan,
-    PlanCache,
-    PlanUnit,
-    compile_tasks,
-    plan_options,
-)
+from .plan import USE_DEFAULT_CACHE, ExecutionPlan, PlanCache, PlanUnit, compile_tasks, plan_options
 from .task import Task, TaskResult
 
 
@@ -385,6 +382,14 @@ def get_backend(spec: BackendLike) -> Backend:
     return factory()
 
 
+def _distributed_backend() -> Backend:
+    # Imported lazily: distributed.py builds on this module.
+    from .distributed import DistributedBackend
+
+    return DistributedBackend()
+
+
 register_backend("trajectory", TrajectoryBackend)
 register_backend("vectorized", VectorizedBackend)
 register_backend("density", DensityBackend)
+register_backend("distributed", _distributed_backend)

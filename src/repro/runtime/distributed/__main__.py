@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.runtime.distributed``."""
+
+import sys
+
+from . import main
+
+sys.exit(main())

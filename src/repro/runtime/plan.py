@@ -56,13 +56,12 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..circuits.circuit import Circuit
 from ..circuits.schedule import ScheduledCircuit, schedule
 from ..device.calibration import Device
 from ..pauli.pauli import Pauli
 from ..sim.executor import SimOptions
 from ..utils.rng import SeedLike, as_generator
-from .pipeline import Pipeline, as_pipeline
+from .pipeline import as_pipeline
 from .store import DEFAULT_MAX_BYTES, PlanStore
 from .task import CircuitLike, Task
 
@@ -197,6 +196,94 @@ class ExecutionPlan:
     cache_misses: int = 0
 
 
+@dataclass(frozen=True)
+class PlanShard:
+    """A self-contained slice of one plan's simulation units.
+
+    Shards are the shipping unit of distributed execution
+    (:mod:`repro.runtime.distributed`): everything a worker needs to run a
+    contiguous block of realizations — scheduled circuits, devices, derived
+    seeds, the normalized payload — and nothing it doesn't. In particular a
+    shard carries no :class:`~repro.runtime.task.Task`, so it pickles even
+    when the originating task holds an unpicklable realization factory;
+    aggregation happens coordinator-side against the full plan. Because the
+    per-unit seeds were derived from the plan at compile time, *where* a
+    shard executes (which worker, which host, which transport) can never
+    change a value.
+
+    Attributes:
+        plan_index: position of the originating plan in the batch.
+        shard_index: position of this shard within its plan.
+        start: offset of ``units[0]`` in the plan's unit tuple.
+        kind: ``"expectations"`` or ``"probabilities"``.
+        payload: the plan's normalized measurement payload.
+        shots: the originating task's shot override (``None`` defers to the
+            simulation options, exactly as in local execution).
+        direct: the plan was a raw single-circuit execution.
+        units: the seeded simulation jobs, in realization order.
+        options: the options the plan was compiled under (``None`` when the
+            plan recorded none); workers execute under these by default.
+    """
+
+    plan_index: int
+    shard_index: int
+    start: int
+    kind: str
+    payload: Dict
+    shots: Optional[int]
+    direct: bool
+    units: Tuple[PlanUnit, ...]
+    options: Optional[SimOptions] = None
+
+
+def shard_plans(
+    plans: Sequence["ExecutionPlan"],
+    shard_size: int,
+    seed_sensitive: bool = True,
+) -> List[PlanShard]:
+    """Split plans into self-contained :class:`PlanShard` work units.
+
+    Every plan's units are cut into contiguous blocks of at most
+    ``shard_size`` realizations, in order. Reassembling shard results in
+    ``(plan_index, shard_index)`` order therefore reproduces the exact
+    realization order local execution uses, which is what makes the merged
+    aggregation bit-for-bit identical for every shard size.
+
+    Args:
+        plans: compiled :class:`ExecutionPlan` artifacts.
+        shard_size: maximum realizations per shard (>= 1).
+        seed_sensitive: mirror of
+            :attr:`~repro.runtime.backends.Backend.seed_sensitive` for the
+            executing backend — exact backends collapse a deterministic
+            plan to its first unit, so only that unit is sharded.
+
+    Returns:
+        Shards for all plans, ordered by ``(plan_index, shard_index)``.
+    """
+    if shard_size < 1:
+        raise ValueError("shard_size must be >= 1")
+    shards: List[PlanShard] = []
+    for plan_index, plan in enumerate(plans):
+        units = plan.units
+        if plan.collapsible and not seed_sensitive:
+            units = units[:1]
+        for shard_index, start in enumerate(range(0, len(units), shard_size)):
+            shards.append(
+                PlanShard(
+                    plan_index=plan_index,
+                    shard_index=shard_index,
+                    start=start,
+                    kind=plan.kind,
+                    payload=plan.payload,
+                    shots=plan.task.shots,
+                    direct=plan.direct,
+                    units=tuple(units[start : start + shard_size]),
+                    options=plan.options,
+                )
+            )
+    return shards
+
+
 def plan_options(plans: Sequence["ExecutionPlan"]) -> Optional[SimOptions]:
     """The single set of options a batch of plans was compiled under.
 
@@ -267,14 +354,35 @@ class PlanCache:
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
-        self.store = store
+        self._store = store
         self._entries: "OrderedDict[str, Tuple[CircuitLike, ScheduledCircuit]]" = (
             OrderedDict()
         )
         self._lock = threading.Lock()
+        # Keys known to live in (or have been offered to) the current
+        # store, so memory hits don't re-probe the disk on every lookup.
+        self._persisted: set = set()
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+
+    @property
+    def store(self) -> Optional[PlanStore]:
+        """The disk layer (``None`` when memory-only).
+
+        Assigning a new store resets the persisted-key bookkeeping so
+        memory-cache hits write through to the *new* store: a long-lived
+        process that enables disk mode mid-flight (``configure(
+        plan_cache="disk")``) persists its already-hot plans on their next
+        hit, not only newly compiled ones.
+        """
+        return self._store
+
+    @store.setter
+    def store(self, store: Optional[PlanStore]) -> None:
+        with self._lock:
+            self._store = store
+            self._persisted = set()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -323,6 +431,25 @@ class PlanCache:
         with self._lock:
             return self._insert(key, entry)
 
+    def _write_through(
+        self, key: str, entry: Tuple[CircuitLike, ScheduledCircuit]
+    ) -> None:
+        """Persist a memory hit to a store that missed its compilation.
+
+        This closes the warm-start gap for long-lived processes: plans
+        compiled while the cache was memory-only reach a store attached
+        *later* (``configure(plan_cache="disk")``) on their next hit, so
+        the disk ends up as warm as memory. Best-effort like every store
+        write; each (key, store) pair is offered at most once.
+        """
+        with self._lock:
+            store = self._store
+            if store is None or key in self._persisted:
+                return
+            self._persisted.add(key)  # claim before the I/O so racers skip
+        if not store.contains(key):
+            store.put(key, entry)
+
     def get_or_compile(
         self, key: str, build: Callable[[], Tuple[CircuitLike, ScheduledCircuit]]
     ) -> Tuple[Tuple[CircuitLike, ScheduledCircuit], bool]:
@@ -330,14 +457,18 @@ class PlanCache:
 
         Lookup order: memory, then the disk store (a disk hit populates
         memory so later lookups share the same object), then ``build()``.
-        Freshly built entries are persisted when a store is attached.
+        Freshly built entries are persisted when a store is attached, and
+        memory hits write through to a store attached after they were
+        compiled.
         """
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return entry, True
+        if entry is not None:
+            self._write_through(key, entry)
+            return entry, True
         store = self.store
         if store is not None:
             loaded = store.get(key)
@@ -346,12 +477,15 @@ class PlanCache:
                     entry = self._insert(key, loaded)
                     self.hits += 1
                     self.disk_hits += 1
+                    self._persisted.add(key)
                 return entry, True
         with self._lock:
             self.misses += 1
         built = build()
         if store is not None:
             store.put(key, built)
+            with self._lock:
+                self._persisted.add(key)
         with self._lock:
             entry = self._insert(key, built)
         return entry, False

@@ -57,6 +57,11 @@ _DEFAULTS = {
     "chunk_shots": None,
     "compile_mode": "thread",
     "compile_workers": None,  # None -> follow the run's ``workers``
+    "dist_workers": None,  # None -> follow the run's ``workers``
+    "dist_shard_size": None,  # None -> auto-size per worker count
+    "dist_serve": None,  # None -> local (process pool) transport
+    "dist_connect": (),  # () -> don't dial out to listening workers
+    "dist_inner": "trajectory",
 }
 
 
@@ -69,11 +74,17 @@ def configure(
     plan_cache: Optional[str] = None,
     plan_cache_dir: Union[str, Path, None] = _AUTO,
     plan_cache_bytes: Optional[int] = _AUTO,
+    dist_workers=_AUTO,
+    dist_shard_size=_AUTO,
+    dist_serve: Optional[str] = _AUTO,
+    dist_connect: Union[str, Sequence[str], None] = _AUTO,
+    dist_inner: Optional[str] = None,
 ) -> None:
     """Set process-wide runtime defaults (used when ``run(...=None)``).
 
     The CLI's flags (``--workers``, ``--backend``, ``--chunk-shots``,
-    ``--compile-mode``, ``--compile-workers``, ``--plan-cache``) call this
+    ``--compile-mode``, ``--compile-workers``, ``--plan-cache``,
+    ``--dist-workers``, ``--dist-serve``, ``--dist-connect``) call this
     so every experiment driver inherits the parallelism, engine choice,
     memory bound, and cache policy without plumbing parameters through.
 
@@ -95,6 +106,21 @@ def configure(
             (``~/.cache/repro-plans``, overridable via
             ``REPRO_PLAN_CACHE_DIR`` / ``XDG_CACHE_HOME``).
         plan_cache_bytes: disk-store size bound (LRU eviction beyond it).
+        dist_workers: worker-process count for the ``"distributed"``
+            backend; ``None`` makes each run reuse its ``workers`` value.
+        dist_shard_size: realizations per distributed shard; ``None``
+            restores auto-sizing (a few shards per worker). Results never
+            depend on it.
+        dist_serve: ``"host:port"`` to serve the distributed shard queue
+            at (other hosts join with ``python -m
+            repro.runtime.distributed worker --connect host:port``);
+            ``None`` restores the local process-pool transport.
+        dist_connect: address(es) of listening workers (``worker
+            --listen``) the coordinator should dial out to; ``None`` or
+            ``()`` restores not dialing.
+        dist_inner: backend that executes shards inside distributed
+            workers (default ``"trajectory"``; ``"vectorized"`` is
+            bit-identical).
 
     Example:
         >>> configure(backend="vectorized", workers=4)
@@ -119,6 +145,30 @@ def configure(
         compile_workers = int(compile_workers)
         if compile_workers < 1:
             raise ValueError("compile_workers must be >= 1 (or None for auto)")
+    if dist_workers is not _AUTO and dist_workers is not None:
+        dist_workers = int(dist_workers)
+        if dist_workers < 1:
+            raise ValueError("dist_workers must be >= 1 (or None for auto)")
+    if dist_shard_size is not _AUTO and dist_shard_size is not None:
+        dist_shard_size = int(dist_shard_size)
+        if dist_shard_size < 1:
+            raise ValueError("dist_shard_size must be >= 1 (or None for auto)")
+    if dist_serve is not _AUTO and dist_serve is not None:
+        from .distributed import parse_address
+
+        parse_address(dist_serve)  # fail at configure time, not first run()
+    if dist_connect is not _AUTO and dist_connect is not None:
+        from .distributed import parse_address
+
+        if isinstance(dist_connect, str):
+            dist_connect = (dist_connect,)
+        dist_connect = tuple(dist_connect)
+        for address in dist_connect:
+            parse_address(address)
+    if dist_inner is not None:
+        if dist_inner == "distributed":
+            raise ValueError("dist_inner cannot itself be 'distributed'")
+        get_backend(dist_inner)
     if plan_cache is not None or plan_cache_dir is not _AUTO or (
         plan_cache_bytes is not _AUTO
     ):
@@ -140,6 +190,16 @@ def configure(
         _DEFAULTS["compile_mode"] = compile_mode
     if compile_workers is not _AUTO:
         _DEFAULTS["compile_workers"] = compile_workers
+    if dist_workers is not _AUTO:
+        _DEFAULTS["dist_workers"] = dist_workers
+    if dist_shard_size is not _AUTO:
+        _DEFAULTS["dist_shard_size"] = dist_shard_size
+    if dist_serve is not _AUTO:
+        _DEFAULTS["dist_serve"] = dist_serve
+    if dist_connect is not _AUTO:
+        _DEFAULTS["dist_connect"] = () if dist_connect is None else dist_connect
+    if dist_inner is not None:
+        _DEFAULTS["dist_inner"] = dist_inner
 
 
 def default_workers() -> int:
@@ -165,6 +225,31 @@ def default_compile_mode() -> str:
 def default_compile_workers() -> Optional[int]:
     """The configured compile-worker count (``None`` = follow ``workers``)."""
     return _DEFAULTS["compile_workers"]
+
+
+def default_dist_workers() -> Optional[int]:
+    """The configured distributed worker count (``None`` = follow ``workers``)."""
+    return _DEFAULTS["dist_workers"]
+
+
+def default_dist_shard_size() -> Optional[int]:
+    """The configured distributed shard size (``None`` = auto-size)."""
+    return _DEFAULTS["dist_shard_size"]
+
+
+def default_dist_serve() -> Optional[str]:
+    """The configured shard-queue serve address (``None`` = local transport)."""
+    return _DEFAULTS["dist_serve"]
+
+
+def default_dist_connect() -> Sequence[str]:
+    """The configured listening-worker addresses to dial (may be empty)."""
+    return _DEFAULTS["dist_connect"]
+
+
+def default_dist_inner() -> str:
+    """The configured inner backend distributed workers execute with."""
+    return _DEFAULTS["dist_inner"]
 
 
 RunInput = Union[Task, ExecutionPlan, Sequence[Task], Sequence[ExecutionPlan]]

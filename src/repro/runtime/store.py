@@ -150,6 +150,15 @@ class PlanStore:
         self.hits += 1
         return payload["value"]
 
+    def contains(self, key: str) -> bool:
+        """Whether an entry file exists for ``key`` (no payload validation).
+
+        A cheap existence probe for write-through decisions; a corrupt file
+        found here still resolves to a miss (and recompilation) on the next
+        real :meth:`get`.
+        """
+        return self._path(key).exists()
+
     # -- write -----------------------------------------------------------------
 
     def put(self, key: str, value: Any) -> bool:

@@ -131,10 +131,16 @@ class Sweep:
             device: default device for tasks without their own.
             options: simulation options shared by every grid point.
             backend: backend name or instance (``None`` = configured
-                default).
-            workers: simulation fan-out; ``compile_workers`` and
-                ``compile_mode`` shape the compile stage (see
-                :func:`repro.runtime.run`). None of them changes a value.
+                default). ``"distributed"`` shards every grid point's
+                realizations across worker processes (and, with
+                ``configure(dist_serve=...)``, across hosts) —
+                bit-identical to ``"trajectory"`` either way.
+            workers: simulation fan-out (the ``"distributed"`` backend
+                reads it as its worker-process count unless
+                ``configure(dist_workers=...)`` overrides); similarly
+                ``compile_workers`` and ``compile_mode`` shape the compile
+                stage (see :func:`repro.runtime.run`). None of them
+                changes a value.
 
         Returns:
             A :class:`SweepResult` keying each grid point's

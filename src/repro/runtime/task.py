@@ -19,7 +19,7 @@ Seed semantics (chosen to match the legacy entry points bit-for-bit):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np

@@ -18,9 +18,8 @@ only, by passing zero detunings).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
-import numpy as np
 
 from ..device.calibration import Device
 from ..utils.units import TWO_PI

@@ -21,13 +21,13 @@ from __future__ import annotations
 
 import math
 import warnings
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..circuits.circuit import Circuit
-from ..circuits.schedule import ScheduledCircuit, ScheduledMoment, schedule
+from ..circuits.schedule import ScheduledCircuit, schedule
 from ..device.calibration import Device
 from ..pauli.pauli import Pauli
 from ..utils.rng import SeedLike, as_generator

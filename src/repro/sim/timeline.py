@@ -23,7 +23,7 @@ feeds the compensation angles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, Set, Tuple
 
 from ..circuits.circuit import Moment
 

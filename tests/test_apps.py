@@ -1,6 +1,5 @@
 """Application circuit tests: Ising, Heisenberg, dynamic Bell, Floquet-6."""
 
-import math
 
 import numpy as np
 import pytest

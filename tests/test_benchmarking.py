@@ -1,6 +1,5 @@
 """Tests for the benchmarking protocols (Ramsey, LF, mitigation, FFT)."""
 
-import math
 
 import numpy as np
 import pytest
@@ -22,8 +21,6 @@ from repro.benchmarking import (
     ramsey_curve,
     ramsey_fidelity,
 )
-from repro.circuits import gates as g
-from repro.device import linear_chain, synthetic_device
 from repro.sim import SimOptions
 
 

@@ -10,9 +10,8 @@ from repro.compiler.ca_dd import (
     pinned_colors,
     select_joint_windows,
 )
-from repro.compiler.walsh import walsh_fractions
-from repro.device import build_crosstalk_graph, linear_chain, synthetic_device
-from repro.sim.timeline import build_timeline, pair_sign_integral
+from repro.device import linear_chain, synthetic_device
+from repro.sim.timeline import pair_sign_integral
 
 
 class TestPinnedColors:

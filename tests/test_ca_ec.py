@@ -1,15 +1,13 @@
 """Context-aware error compensation tests (Algorithm 2)."""
 
-import math
 
-import numpy as np
 import pytest
 
-from repro.circuits import Circuit, gates as g
+from repro.circuits import Circuit
 from repro.compiler.ca_ec import apply_ca_ec
 from repro.device import linear_chain, synthetic_device
 from repro.pauli import apply_twirl
-from repro.sim import SimOptions, expectation_values, bit_probabilities
+from repro.sim import SimOptions, expectation_values
 
 # These tests exercise the deprecated pre-1.1 shims on purpose (legacy
 # equivalence coverage); downgrade their warnings from suite-wide error.

@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.device import (
-    Device,
     NoiseProfile,
     fake_brisbane,
     fake_nazca,

@@ -1,6 +1,5 @@
 """Characterization (simulated calibration) tests."""
 
-from dataclasses import replace
 
 import pytest
 

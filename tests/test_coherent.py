@@ -1,6 +1,5 @@
 """Coherent accumulation tests (paper eqs. 1-3)."""
 
-import math
 
 import pytest
 

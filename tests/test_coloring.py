@@ -1,7 +1,6 @@
 """Constrained graph-coloring tests (Algorithm 1, ColorGraph)."""
 
 import networkx as nx
-import pytest
 
 from repro.compiler.coloring import (
     CONTROL_COLOR,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuits import Circuit, gates as g, schedule
+from repro.circuits import Circuit, schedule
 from repro.compiler.dd import (
     apply_aligned_dd,
     apply_dd_by_rule,

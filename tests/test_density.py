@@ -1,7 +1,6 @@
 """Density-matrix simulator tests, including cross-validation against the
 trajectory executor."""
 
-import math
 
 import numpy as np
 import pytest

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.circuits import Circuit, draw, gates as g, summary
-from repro.circuits.circuit import Instruction
 
 # These tests exercise the deprecated pre-1.1 shims on purpose (legacy
 # equivalence coverage); downgrade their warnings from suite-wide error.

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.circuits import gates as g
-from repro.circuits.euler import EulerAngles, euler_angles, fuse
+from repro.circuits.euler import euler_angles, fuse
 from repro.utils.linalg import allclose_up_to_global_phase, random_unitary
 
 

@@ -2,13 +2,11 @@
 
 import math
 
-import numpy as np
 import pytest
 
-from repro.circuits import Circuit, Durations, gates as g, schedule
+from repro.circuits import Circuit, gates as g
 from repro.device import linear_chain, synthetic_device
 from repro.sim import (
-    Executor,
     SimOptions,
     average_over_realizations,
     bit_probabilities,

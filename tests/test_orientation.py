@@ -6,7 +6,7 @@ import pytest
 from repro.circuits import Circuit, gates as g
 from repro.compiler import apply_ca_dd, apply_orientation, choose_orientations
 from repro.compiler.orientation import compose_1q
-from repro.device import build_crosstalk_graph, linear_chain, synthetic_device
+from repro.device import linear_chain, synthetic_device
 from repro.utils.linalg import allclose_up_to_global_phase
 
 
@@ -126,7 +126,6 @@ class TestCompose1Q:
         assert inst is not None and inst.tag == "orientation"
 
     def test_fuse_order_pre_vs_post(self):
-        import numpy as np
 
         for position, expected in (
             ("pre", g.H_MAT @ g.S_MAT),

@@ -379,3 +379,61 @@ class TestProcessCompile:
         plans = compile_tasks(mixed_tasks(), chain4, options=opts)
         clone = pickle.loads(pickle.dumps(plans))
         assert batch_signature(run(plans)) == batch_signature(run(clone))
+
+
+# ---------------------------------------------------------------------------
+# Memory-hit write-through (disk layer attached after compilation)
+# ---------------------------------------------------------------------------
+
+
+class TestWriteThrough:
+    """A store attached mid-flight gets warmed by memory hits, not just by
+    new compilations — the ROADMAP's "warm the memory layer through to
+    disk" gap."""
+
+    def test_memory_hit_writes_through_to_late_store(self, chain4, disk_dir):
+        opts = SimOptions(shots=4)
+        cold = run(mixed_tasks(), chain4, options=opts)  # memory-only epoch
+        configure(plan_cache="disk", plan_cache_dir=disk_dir)
+        assert len(PLAN_CACHE.store) == 0
+        warm = run(mixed_tasks(), chain4, options=opts)  # pure memory hits
+        store = PLAN_CACHE.store
+        assert len(store) > 0
+        assert batch_signature(cold) == batch_signature(warm)
+        # A "new process" (memory cold, same disk) now warm-starts from
+        # the written-through entries.
+        PLAN_CACHE.clear()
+        PLAN_CACHE.store = store
+        fresh = run(mixed_tasks(), chain4, options=opts)
+        assert PLAN_CACHE.disk_hits > 0
+        assert batch_signature(fresh) == batch_signature(cold)
+
+    def test_write_through_happens_once_per_key(self, chain4, disk_dir):
+        opts = SimOptions(shots=4)
+        run(mixed_tasks(), chain4, options=opts)
+        configure(plan_cache="disk", plan_cache_dir=disk_dir)
+        run(mixed_tasks(), chain4, options=opts)
+        first = PLAN_CACHE.store.stats["errors"], len(PLAN_CACHE.store)
+        before = PLAN_CACHE.store.hits
+        run(mixed_tasks(), chain4, options=opts)  # hits again: no re-probe
+        assert (PLAN_CACHE.store.stats["errors"], len(PLAN_CACHE.store)) == first
+        assert PLAN_CACHE.store.hits == before  # write-through never get()s
+
+    def test_reattaching_a_store_resets_the_bookkeeping(self, chain4, tmp_path):
+        opts = SimOptions(shots=4)
+        run(mixed_tasks(), chain4, options=opts)
+        configure(plan_cache="disk", plan_cache_dir=tmp_path / "a")
+        run(mixed_tasks(), chain4, options=opts)
+        entries_a = len(PLAN_CACHE.store)
+        assert entries_a > 0
+        configure(plan_cache="disk", plan_cache_dir=tmp_path / "b")
+        run(mixed_tasks(), chain4, options=opts)  # same keys, new store
+        assert len(PLAN_CACHE.store) == entries_a
+
+    def test_contains_is_a_pure_existence_probe(self, disk_dir):
+        store = PlanStore(disk_dir)
+        assert not store.contains("k")
+        store.put("k", ("compiled", "scheduled"))
+        hits_before = store.hits
+        assert store.contains("k")
+        assert store.hits == hits_before  # no payload load, no stat drift

@@ -11,7 +11,6 @@ random synthetic devices, checking the properties that hold by construction:
 * compilation never changes the number of logical 2q gates.
 """
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st

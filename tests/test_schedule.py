@@ -1,6 +1,5 @@
 """Scheduling tests: durations, idle windows, timing arithmetic."""
 
-import pytest
 
 from repro.circuits import Circuit, Durations, gates as g, schedule
 

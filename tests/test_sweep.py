@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro import Circuit, SimOptions, Sweep, Task
-from repro.runtime.sweep import SweepResult, _json_value
+from repro.runtime.sweep import _json_value
 
 
 def plus_circuit(depth: int) -> Circuit:
